@@ -1,0 +1,135 @@
+//! Bias measurement: the `b` parameter of the analytical model.
+//!
+//! Section 5.2 evaluates `b` "for the entire trace by measuring the
+//! density of static (address, history) pairs with bias taken". This
+//! module measures per-pair outcome tallies and reports that density,
+//! along with the dynamic taken rate.
+
+use crate::cursor::PairCursor;
+use bpred_trace::record::{BranchKind, BranchRecord};
+use std::collections::HashMap;
+
+/// Per-substream outcome tallies and the derived bias statistics.
+#[derive(Debug, Clone)]
+pub struct BiasStats {
+    cursor: PairCursor,
+    tallies: HashMap<(u64, u64), (u64, u64)>, // (taken, total)
+    dynamic_taken: u64,
+    dynamic: u64,
+}
+
+impl BiasStats {
+    /// Bias statistics under `history_bits` of global history.
+    pub fn new(history_bits: u32) -> Self {
+        BiasStats {
+            cursor: PairCursor::new(history_bits),
+            tallies: HashMap::new(),
+            dynamic_taken: 0,
+            dynamic: 0,
+        }
+    }
+
+    /// Account one trace record.
+    pub fn observe(&mut self, record: &BranchRecord) {
+        if record.kind == BranchKind::Conditional {
+            self.dynamic += 1;
+            self.dynamic_taken += u64::from(record.taken);
+            let entry = self.tallies.entry(self.cursor.pair(record.pc)).or_insert((0, 0));
+            entry.0 += u64::from(record.taken);
+            entry.1 += 1;
+        }
+        self.cursor.advance(record);
+    }
+
+    /// Consume a whole stream.
+    pub fn run(mut self, records: impl Iterator<Item = BranchRecord>) -> Self {
+        for r in records {
+            self.observe(&r);
+        }
+        self
+    }
+
+    /// The paper's `b`: fraction of static `(address, history)` pairs
+    /// whose majority outcome is taken (ties count as taken, matching the
+    /// "bias taken" phrasing).
+    pub fn static_bias_taken(&self) -> f64 {
+        if self.tallies.is_empty() {
+            return 0.0;
+        }
+        let biased = self
+            .tallies
+            .values()
+            .filter(|(taken, total)| 2 * taken >= *total)
+            .count();
+        biased as f64 / self.tallies.len() as f64
+    }
+
+    /// Dynamic taken rate over all conditional branches.
+    pub fn dynamic_taken_rate(&self) -> f64 {
+        if self.dynamic == 0 {
+            0.0
+        } else {
+            self.dynamic_taken as f64 / self.dynamic as f64
+        }
+    }
+
+    /// Number of static pairs observed.
+    pub fn static_pairs(&self) -> u64 {
+        self.tallies.len() as u64
+    }
+
+    /// Average per-pair agreement with the pair's majority outcome — an
+    /// upper bound on any per-substream predictor's accuracy, useful as a
+    /// sanity reference for Table 2.
+    pub fn majority_agreement(&self) -> f64 {
+        if self.dynamic == 0 {
+            return 0.0;
+        }
+        let agree: u64 = self
+            .tallies
+            .values()
+            .map(|&(taken, total)| taken.max(total - taken))
+            .sum();
+        agree as f64 / self.dynamic as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_majorities() {
+        let records = vec![
+            BranchRecord::conditional(0x100, true),
+            BranchRecord::conditional(0x100, true),
+            BranchRecord::conditional(0x100, false),
+            BranchRecord::conditional(0x200, false),
+            BranchRecord::conditional(0x200, false),
+        ];
+        let b = BiasStats::new(0).run(records.into_iter());
+        assert_eq!(b.static_pairs(), 2);
+        assert!((b.static_bias_taken() - 0.5).abs() < 1e-12);
+        assert!((b.dynamic_taken_rate() - 0.4).abs() < 1e-12);
+        // majority agreement: (2 + 2) / 5
+        assert!((b.majority_agreement() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tie_counts_as_taken() {
+        let records = vec![
+            BranchRecord::conditional(0x100, true),
+            BranchRecord::conditional(0x100, false),
+        ];
+        let b = BiasStats::new(0).run(records.into_iter());
+        assert_eq!(b.static_bias_taken(), 1.0);
+    }
+
+    #[test]
+    fn empty_is_zero() {
+        let b = BiasStats::new(4).run(std::iter::empty());
+        assert_eq!(b.static_bias_taken(), 0.0);
+        assert_eq!(b.dynamic_taken_rate(), 0.0);
+        assert_eq!(b.majority_agreement(), 0.0);
+    }
+}

@@ -1,0 +1,290 @@
+//! Last-use distance: the `D` of the analytical model (section 5.2).
+//!
+//! For a dynamic reference to pair `V`, `D` is *the number of distinct
+//! `(address, history)` pairs encountered since the last occurrence of
+//! `V`* — the LRU stack distance over pairs. A reference hits an N-entry
+//! fully-associative LRU table iff `D < N`, which is exactly how the paper
+//! separates conflict aliasing (short `D`) from capacity aliasing (long
+//! `D`).
+//!
+//! The tracker runs in O(log T) per reference using a Fenwick tree over
+//! reference timestamps holding a 1 at the *most recent* position of each
+//! distinct pair.
+
+use std::collections::HashMap;
+
+/// Streaming last-use-distance tracker.
+///
+/// ```
+/// use bpred_aliasing::distance::LastUseDistance;
+///
+/// let mut d = LastUseDistance::new();
+/// assert_eq!(d.observe((1, 0)), None);      // first use
+/// assert_eq!(d.observe((2, 0)), None);
+/// assert_eq!(d.observe((1, 0)), Some(1));   // one distinct pair between
+/// assert_eq!(d.observe((1, 0)), Some(0));   // immediate reuse
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LastUseDistance {
+    /// Fenwick tree over timestamps (1-based).
+    tree: Vec<u32>,
+    /// Raw marks (1 at the most recent position of each live pair); kept
+    /// so the tree can be rebuilt when it grows — a Fenwick tree cannot be
+    /// extended by zero-filling, because a new node covers old positions.
+    marks: Vec<u8>,
+    /// Most recent timestamp of each pair (1-based).
+    last: HashMap<(u64, u64), usize>,
+    /// Next timestamp.
+    now: usize,
+}
+
+impl LastUseDistance {
+    /// An empty tracker.
+    pub fn new() -> Self {
+        LastUseDistance {
+            tree: vec![0; 1024],
+            marks: vec![0; 1024],
+            last: HashMap::new(),
+            now: 0,
+        }
+    }
+
+    fn add(&mut self, i: usize, delta: i32) {
+        self.marks[i] = (i32::from(self.marks[i]) + delta) as u8;
+        let mut i = i;
+        while i < self.tree.len() {
+            self.tree[i] = (i64::from(self.tree[i]) + i64::from(delta)) as u32;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Sum of marks in `1..=i`.
+    fn prefix(&self, mut i: usize) -> u64 {
+        let mut sum = 0u64;
+        while i > 0 {
+            sum += u64::from(self.tree[i]);
+            i -= i & i.wrapping_neg();
+        }
+        sum
+    }
+
+    /// Double the tree, rebuilding from the raw marks in O(new length).
+    fn grow(&mut self) {
+        let new_len = self.tree.len() * 2;
+        self.marks.resize(new_len, 0);
+        let mut tree = vec![0u32; new_len];
+        for i in 1..new_len {
+            tree[i] += u32::from(self.marks[i]);
+            let parent = i + (i & i.wrapping_neg());
+            if parent < new_len {
+                let v = tree[i];
+                tree[parent] += v;
+            }
+        }
+        self.tree = tree;
+    }
+
+    /// Record a reference to `pair`; returns its last-use distance, or
+    /// `None` on first use.
+    pub fn observe(&mut self, pair: (u64, u64)) -> Option<u64> {
+        self.now += 1;
+        let now = self.now;
+        if now >= self.tree.len() {
+            self.grow();
+        }
+        let distance = match self.last.get(&pair).copied() {
+            Some(prev) => {
+                // Distinct pairs strictly between prev and now.
+                let d = self.prefix(now - 1) - self.prefix(prev);
+                self.add(prev, -1);
+                Some(d)
+            }
+            None => None,
+        };
+        self.add(now, 1);
+        self.last.insert(pair, now);
+        distance
+    }
+
+    /// Number of distinct pairs seen so far.
+    pub fn distinct_pairs(&self) -> usize {
+        self.last.len()
+    }
+
+    /// Number of references observed.
+    pub fn references(&self) -> usize {
+        self.now
+    }
+}
+
+/// A power-of-two histogram of last-use distances with a first-use bucket,
+/// handy for inspecting workload locality.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DistanceHistogram {
+    /// `buckets[i]` counts distances in `[2^(i-1), 2^i)` (bucket 0 counts
+    /// distance 0).
+    buckets: Vec<u64>,
+    /// First-use references (infinite distance).
+    first_uses: u64,
+    total: u64,
+}
+
+impl DistanceHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        DistanceHistogram::default()
+    }
+
+    /// Account one observation from [`LastUseDistance::observe`].
+    pub fn record(&mut self, distance: Option<u64>) {
+        self.total += 1;
+        match distance {
+            None => self.first_uses += 1,
+            Some(d) => {
+                let bucket = if d == 0 {
+                    0
+                } else {
+                    64 - d.leading_zeros() as usize
+                };
+                if self.buckets.len() <= bucket {
+                    self.buckets.resize(bucket + 1, 0);
+                }
+                self.buckets[bucket] += 1;
+            }
+        }
+    }
+
+    /// First-use count.
+    pub fn first_uses(&self) -> u64 {
+        self.first_uses
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Fraction of (re-)references with distance below `limit` — the hit
+    /// ratio of a `limit`-entry fully-associative LRU table, counting
+    /// first uses as misses. Exact when `limit` is a power of two (bucket
+    /// boundaries align); otherwise a floor estimate.
+    pub fn hit_ratio_at(&self, limit: u64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let mut hits = 0u64;
+        for (i, &count) in self.buckets.iter().enumerate() {
+            let hi = if i == 0 { 1 } else { 1u64 << i }; // exclusive bound
+            if hi <= limit {
+                hits += count;
+            }
+        }
+        hits as f64 / self.total as f64
+    }
+
+    /// The raw buckets: `(upper_bound_exclusive, count)` pairs.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (if i == 0 { 1 } else { 1u64 << i }, c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// O(n^2) reference implementation: scan back for the previous
+    /// occurrence and count distinct pairs in between.
+    fn naive_distances(refs: &[(u64, u64)]) -> Vec<Option<u64>> {
+        let mut out = Vec::with_capacity(refs.len());
+        for (i, &p) in refs.iter().enumerate() {
+            let prev = refs[..i].iter().rposition(|&q| q == p);
+            out.push(prev.map(|j| {
+                let mut distinct = std::collections::HashSet::new();
+                for &q in &refs[j + 1..i] {
+                    distinct.insert(q);
+                }
+                distinct.len() as u64
+            }));
+        }
+        out
+    }
+
+    #[test]
+    fn simple_sequence() {
+        let mut d = LastUseDistance::new();
+        assert_eq!(d.observe((1, 0)), None);
+        assert_eq!(d.observe((2, 0)), None);
+        assert_eq!(d.observe((3, 0)), None);
+        assert_eq!(d.observe((1, 0)), Some(2));
+        assert_eq!(d.observe((1, 0)), Some(0));
+        assert_eq!(d.observe((2, 0)), Some(2));
+        assert_eq!(d.distinct_pairs(), 3);
+        assert_eq!(d.references(), 6);
+    }
+
+    #[test]
+    fn repeated_pair_between_does_not_double_count() {
+        let mut d = LastUseDistance::new();
+        d.observe((1, 0));
+        d.observe((2, 0));
+        d.observe((2, 0));
+        d.observe((2, 0));
+        // Only ONE distinct pair (2) since the last use of 1.
+        assert_eq!(d.observe((1, 0)), Some(1));
+    }
+
+    #[test]
+    fn matches_naive_reference_on_random_stream() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(99);
+        let refs: Vec<(u64, u64)> = (0..2_000)
+            .map(|_| (rng.gen_range(0..40u64), rng.gen_range(0..4u64)))
+            .collect();
+        let naive = naive_distances(&refs);
+        let mut fast = LastUseDistance::new();
+        for (i, &p) in refs.iter().enumerate() {
+            assert_eq!(fast.observe(p), naive[i], "mismatch at reference {i}");
+        }
+    }
+
+    #[test]
+    fn tree_grows_past_initial_capacity() {
+        let mut d = LastUseDistance::new();
+        for i in 0..5_000u64 {
+            d.observe((i % 7, 0));
+        }
+        assert_eq!(d.references(), 5_000);
+        assert_eq!(d.distinct_pairs(), 7);
+        // The loop ends at i=4999 (pair 1); the last use of pair 2 was at
+        // i=4993, with the 6 other pairs touched since.
+        assert_eq!(d.observe((2, 0)), Some(6));
+        // And the steady-state period: re-observing pair 2 immediately
+        // gives distance 0.
+        assert_eq!(d.observe((2, 0)), Some(0));
+    }
+
+    #[test]
+    fn histogram_buckets_and_hit_ratio() {
+        let mut h = DistanceHistogram::new();
+        h.record(None); // first use -> miss everywhere
+        h.record(Some(0)); // hits any table
+        h.record(Some(3)); // bucket [2,4)
+        h.record(Some(100)); // bucket [64,128)
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.first_uses(), 1);
+        // limit 1: only distance 0 hits.
+        assert!((h.hit_ratio_at(1) - 0.25).abs() < 1e-12);
+        // limit 128: distances 0, 3, 100 hit.
+        assert!((h.hit_ratio_at(128) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_of_empty_is_zero() {
+        let h = DistanceHistogram::new();
+        assert_eq!(h.hit_ratio_at(1024), 0.0);
+    }
+}

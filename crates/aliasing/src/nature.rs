@@ -1,0 +1,272 @@
+//! Destructive / harmless / constructive aliasing classification.
+//!
+//! Section 1 of the paper recalls Young, Gloy and Smith's taxonomy:
+//! aliasing is *destructive* when sharing an entry causes a misprediction,
+//! *harmless* when it does not change the prediction's correctness, and
+//! *constructive* when the intruder's training accidentally fixes a
+//! prediction that would have been wrong. The paper leans on this when
+//! explaining why its analytical model overestimates gskew's misprediction
+//! rate ("constructive aliasing … is not modeled").
+//!
+//! [`AliasingNature`] runs the aliased predictor and an unaliased shadow
+//! (one automaton per `(address, history)` pair) side by side. For each
+//! dynamic branch where the tagged table detects aliasing, the pair of
+//! (aliased, unaliased) correctness classifies the event.
+
+use crate::cursor::PairCursor;
+use bpred_core::counter::{CounterKind, CounterTable, SatCounter};
+use bpred_core::index::IndexFunction;
+use bpred_core::predictor::Outcome;
+use bpred_trace::record::{BranchKind, BranchRecord};
+use std::collections::HashMap;
+
+/// Counts of aliasing events by their effect on the prediction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NatureCounts {
+    /// Aliased references where the unaliased shadow was right and the
+    /// aliased table was wrong.
+    pub destructive: u64,
+    /// Aliased references where both agreed (right or wrong together).
+    pub harmless: u64,
+    /// Aliased references where the aliased table was right and the
+    /// shadow wrong.
+    pub constructive: u64,
+    /// References that were not aliased at all.
+    pub unaliased: u64,
+    /// First encounters (no shadow state yet); excluded from the three
+    /// classes.
+    pub compulsory: u64,
+}
+
+impl NatureCounts {
+    /// Total aliased references that were classified.
+    pub fn aliased(&self) -> u64 {
+        self.destructive + self.harmless + self.constructive
+    }
+
+    /// Destructive events per aliased reference.
+    pub fn destructive_ratio(&self) -> f64 {
+        ratio(self.destructive, self.aliased())
+    }
+
+    /// Constructive events per aliased reference.
+    pub fn constructive_ratio(&self) -> f64 {
+        ratio(self.constructive, self.aliased())
+    }
+
+    /// Net misprediction overhead caused by aliasing, per dynamic branch:
+    /// `(destructive - constructive) / total`.
+    pub fn net_overhead(&self) -> f64 {
+        let total = self.aliased() + self.unaliased + self.compulsory;
+        if total == 0 {
+            return 0.0;
+        }
+        (self.destructive as f64 - self.constructive as f64) / total as f64
+    }
+}
+
+#[inline]
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Classifies the nature of aliasing in a direct-mapped, tag-less
+/// predictor table (gshare-style by default).
+#[derive(Debug, Clone)]
+pub struct AliasingNature {
+    cursor: PairCursor,
+    /// The aliased structure under study.
+    table: CounterTable,
+    /// Who touched each entry last — detects aliasing occurrences.
+    owners: Vec<Option<(u64, u64)>>,
+    /// The unaliased shadow: one automaton per pair.
+    shadow: HashMap<(u64, u64), SatCounter>,
+    func: IndexFunction,
+    n: u32,
+    kind: CounterKind,
+    counts: NatureCounts,
+}
+
+impl AliasingNature {
+    /// A classifier over a `2^entries_log2`-entry table with
+    /// `history_bits` of global history, using `func` indexing and `kind`
+    /// automatons.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries_log2` is 0 or above 30.
+    pub fn new(
+        entries_log2: u32,
+        history_bits: u32,
+        func: IndexFunction,
+        kind: CounterKind,
+    ) -> Self {
+        assert!(
+            entries_log2 > 0 && entries_log2 <= 30,
+            "entries_log2 {entries_log2} out of 1..=30"
+        );
+        AliasingNature {
+            cursor: PairCursor::new(history_bits),
+            table: CounterTable::new(entries_log2, kind),
+            owners: vec![None; 1 << entries_log2],
+            shadow: HashMap::new(),
+            func,
+            n: entries_log2,
+            kind,
+            counts: NatureCounts::default(),
+        }
+    }
+
+    /// Account one trace record.
+    pub fn observe(&mut self, record: &BranchRecord) {
+        if record.kind == BranchKind::Conditional {
+            let v = self.cursor.vector(record.pc);
+            let pair = v.pair();
+            let idx = self.func.index(&v, self.n);
+            let outcome = Outcome::from(record.taken);
+
+            let aliased = match self.owners[idx as usize] {
+                Some(owner) => owner != pair,
+                None => false, // cold entry: not an inter-substream event
+            };
+            let aliased_prediction = self.table.predict(idx);
+
+            match self.shadow.get(&pair) {
+                None => {
+                    self.counts.compulsory += 1;
+                    self.shadow
+                        .insert(pair, SatCounter::seeded(self.kind, outcome));
+                }
+                Some(shadow_counter) => {
+                    let shadow_prediction = shadow_counter.predict();
+                    if aliased {
+                        let aliased_right = aliased_prediction == outcome;
+                        let shadow_right = shadow_prediction == outcome;
+                        match (aliased_right, shadow_right) {
+                            (false, true) => self.counts.destructive += 1,
+                            (true, false) => self.counts.constructive += 1,
+                            _ => self.counts.harmless += 1,
+                        }
+                    } else {
+                        self.counts.unaliased += 1;
+                    }
+                    let counter = self
+                        .shadow
+                        .get_mut(&pair)
+                        .expect("shadow entry checked above");
+                    counter.train(outcome);
+                }
+            }
+
+            self.table.train(idx, outcome);
+            self.owners[idx as usize] = Some(pair);
+        }
+        self.cursor.advance(record);
+    }
+
+    /// Consume a whole record stream and return the counts.
+    pub fn run(mut self, records: impl Iterator<Item = BranchRecord>) -> NatureCounts {
+        for r in records {
+            self.observe(&r);
+        }
+        self.finish()
+    }
+
+    /// The accumulated counts.
+    pub fn finish(self) -> NatureCounts {
+        self.counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpred_trace::prelude::*;
+
+    fn classify(entries_log2: u32, records: &[BranchRecord]) -> NatureCounts {
+        AliasingNature::new(entries_log2, 0, IndexFunction::Bimodal, CounterKind::TwoBit)
+            .run(records.iter().copied())
+    }
+
+    /// Two opposite-biased branches forced into one entry: destructive.
+    #[test]
+    fn opposite_biases_are_destructive() {
+        let a = 0x1000;
+        let b = a + (1 << (1 + 2)); // collides in a 2-entry table
+        let mut records = Vec::new();
+        for _ in 0..50 {
+            records.push(BranchRecord::conditional(a, true));
+            records.push(BranchRecord::conditional(b, false));
+        }
+        let counts = classify(1, &records);
+        assert!(counts.aliased() > 0);
+        assert!(
+            counts.destructive > counts.constructive,
+            "opposite biases should be destructive: {counts:?}"
+        );
+        assert!(counts.net_overhead() > 0.1);
+    }
+
+    /// Two same-direction branches sharing an entry: harmless.
+    #[test]
+    fn agreeing_biases_are_harmless() {
+        let a = 0x1000;
+        let b = a + (1 << (1 + 2));
+        let mut records = Vec::new();
+        for _ in 0..50 {
+            records.push(BranchRecord::conditional(a, true));
+            records.push(BranchRecord::conditional(b, true));
+        }
+        let counts = classify(1, &records);
+        assert!(counts.aliased() > 0);
+        assert_eq!(counts.destructive, 0, "{counts:?}");
+        assert!(counts.harmless > 0);
+        assert!(counts.net_overhead().abs() < 1e-9);
+    }
+
+    /// A flip-flopping branch can be rescued by a steadier intruder — the
+    /// constructive case exists but is rarer, as Young et al. report.
+    #[test]
+    fn constructive_aliasing_is_rarer_on_real_workloads() {
+        let records: Vec<_> = IbsBenchmark::Groff
+            .spec()
+            .build()
+            .take_conditionals(120_000)
+            .collect();
+        let counts = AliasingNature::new(10, 4, IndexFunction::Gshare, CounterKind::TwoBit)
+            .run(records.into_iter());
+        assert!(counts.aliased() > 0);
+        assert!(counts.compulsory > 0);
+        assert!(
+            counts.destructive > counts.constructive,
+            "destructive should dominate: {counts:?}"
+        );
+        assert!(
+            counts.constructive > 0,
+            "some constructive aliasing should occur: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn empty_stream_is_zero() {
+        let counts = classify(4, &[]);
+        assert_eq!(counts, NatureCounts::default());
+        assert_eq!(counts.net_overhead(), 0.0);
+        assert_eq!(counts.destructive_ratio(), 0.0);
+    }
+
+    #[test]
+    fn unaliased_references_counted() {
+        // One lone branch: after the compulsory reference everything is
+        // unaliased.
+        let records = vec![BranchRecord::conditional(0x100, true); 10];
+        let counts = classify(4, &records);
+        assert_eq!(counts.compulsory, 1);
+        assert_eq!(counts.unaliased, 9);
+        assert_eq!(counts.aliased(), 0);
+    }
+}

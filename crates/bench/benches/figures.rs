@@ -1,0 +1,70 @@
+//! Regeneration benchmarks for the paper's figures: `cargo bench` runs a
+//! quick-mode version of every figure harness, timing the pipelines that
+//! `bpsim experiment figN` executes at full length.
+//!
+//! The analytical figures (3, 9, 10) run at full fidelity; the
+//! simulation-driven ones run on shortened workloads so a full
+//! `cargo bench --workspace` stays laptop-sized.
+
+use bpred_sim::experiments::{self, ExperimentOpts};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn quick_opts(len: u64) -> ExperimentOpts {
+    ExperimentOpts {
+        len_override: Some(len),
+        quick: true,
+        ..ExperimentOpts::default()
+    }
+}
+
+fn analytical_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures-analytical");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for id in ["fig3", "fig9", "fig10"] {
+        group.bench_function(id, |b| {
+            b.iter(|| {
+                let output =
+                    experiments::run(id, &quick_opts(1_000)).expect("experiment id exists");
+                assert!(!output.tables.is_empty());
+                output
+            });
+        });
+    }
+    group.finish();
+}
+
+fn simulation_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures-simulated");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for id in [
+        "fig1",
+        "fig2",
+        "fig5",
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig11",
+        "fig12",
+        "ablation-banks",
+        "ablation-update",
+        "ablation-counters",
+        "ext-hybrid",
+    ] {
+        group.bench_function(id, |b| {
+            b.iter(|| {
+                let output =
+                    experiments::run(id, &quick_opts(4_000)).expect("experiment id exists");
+                assert!(!output.tables.is_empty());
+                output
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, analytical_figures, simulation_figures);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Regeneration benchmarks for the paper's tables: `cargo bench` runs a
+//! quick-mode version of each table harness (table 1 and table 2), timing
+//! the full pipeline that `bpsim experiment table1|table2` executes.
+
+use bpred_sim::experiments::{self, ExperimentOpts};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn quick_opts() -> ExperimentOpts {
+    ExperimentOpts {
+        len_override: Some(20_000),
+        quick: true,
+        ..ExperimentOpts::default()
+    }
+}
+
+fn table_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tables");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for id in ["table1", "table2"] {
+        group.bench_function(id, |b| {
+            b.iter(|| {
+                let output =
+                    experiments::run(id, &quick_opts()).expect("experiment id exists");
+                assert!(!output.tables.is_empty());
+                output
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, table_benches);
+criterion_main!(benches);

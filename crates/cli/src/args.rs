@@ -1,0 +1,112 @@
+//! Minimal hand-rolled argument parsing for `bpsim` (keeps the dependency
+//! set to the workspace crates).
+
+use std::collections::HashMap;
+
+/// Parsed command line: positional arguments and `--key value` /
+/// `--flag` options.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Args {
+    positional: Vec<String>,
+    options: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+/// Option names that take a value; everything else starting with `--` is
+/// a boolean flag.
+const VALUED: &[&str] =
+    &["len", "threads", "bench", "pred", "out", "format", "file", "history", "windows"];
+
+impl Args {
+    /// Parse raw arguments (excluding the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when a valued option is missing its value.
+    pub fn parse(raw: impl IntoIterator<Item = String>) -> Result<Args, String> {
+        let mut args = Args::default();
+        let mut iter = raw.into_iter().peekable();
+        while let Some(arg) = iter.next() {
+            if let Some(name) = arg.strip_prefix("--") {
+                if VALUED.contains(&name) {
+                    let value = iter
+                        .next()
+                        .ok_or_else(|| format!("option --{name} requires a value"))?;
+                    args.options.insert(name.to_string(), value);
+                } else {
+                    args.flags.push(name.to_string());
+                }
+            } else {
+                args.positional.push(arg);
+            }
+        }
+        Ok(args)
+    }
+
+    /// Positional argument `i`, if present.
+    pub fn positional(&self, i: usize) -> Option<&str> {
+        self.positional.get(i).map(String::as_str)
+    }
+
+    /// String value of `--name`.
+    pub fn option(&self, name: &str) -> Option<&str> {
+        self.options.get(name).map(String::as_str)
+    }
+
+    /// Parsed numeric value of `--name`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the value does not parse.
+    pub fn option_u64(&self, name: &str) -> Result<Option<u64>, String> {
+        match self.option(name) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("--{name} expects an integer, got `{v}`")),
+        }
+    }
+
+    /// Whether `--name` was given as a flag.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from)).unwrap()
+    }
+
+    #[test]
+    fn positionals_and_options() {
+        let a = parse("experiment fig5 --len 100000 --quick");
+        assert_eq!(a.positional(0), Some("experiment"));
+        assert_eq!(a.positional(1), Some("fig5"));
+        assert_eq!(a.option_u64("len").unwrap(), Some(100_000));
+        assert!(a.flag("quick"));
+        assert!(!a.flag("csv"));
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        let e = Args::parse(vec!["--len".to_string()]).unwrap_err();
+        assert!(e.contains("--len"));
+    }
+
+    #[test]
+    fn bad_number_is_an_error() {
+        let a = parse("run --len abc");
+        assert!(a.option_u64("len").is_err());
+    }
+
+    #[test]
+    fn valued_option_values_may_look_like_flags() {
+        let a = parse("run --pred gskew:n=12,h=8");
+        assert_eq!(a.option("pred"), Some("gskew:n=12,h=8"));
+    }
+}

@@ -1,0 +1,303 @@
+//! Distributed predictor encodings: the shared-hysteresis skewed
+//! predictor.
+//!
+//! The paper's section 7 asks: *"In our simulations we adopted the
+//! standard 2-bit predictor encodings and simply replicated them across 3
+//! banks. Do there exist alternative 'distributed' predictor encodings
+//! that are more space efficient, and more robust against aliasing?"*
+//!
+//! This module answers with the design the Alpha EV8 team eventually
+//! shipped: split each 2-bit counter into its *direction* bit and its
+//! *hysteresis* bit, and let **two adjacent entries of a bank share one
+//! hysteresis bit**. A 3-bank predictor then costs
+//! `3·(2^n + 2^(n-1)) = 4.5·2^n` bits instead of `6·2^n` — a 25 % saving
+//! — while the majority vote still operates on three independently
+//! indexed direction bits.
+//!
+//! Semantics: the logical 2-bit counter of bank `i` at index `x` is
+//! `(direction_i[x], hysteresis_i[x >> 1])`. Training applies the
+//! standard saturating-counter transition to that pair and writes both
+//! halves back; entry pairs interfere only through the low-order
+//! hysteresis half (the space/robustness tradeoff the question
+//! anticipates).
+
+use crate::counter::CounterKind;
+use crate::error::ConfigError;
+use crate::gskew::UpdatePolicy;
+use crate::history::GlobalHistory;
+use crate::predictor::{BranchPredictor, Outcome, Prediction};
+use crate::skew::skew_index;
+use crate::vector::InfoVector;
+
+/// Bit-vector table of single bits (direction or hysteresis).
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct BitTable {
+    bits: Vec<bool>,
+}
+
+impl BitTable {
+    fn new(entries_log2: u32, initial: bool) -> Self {
+        BitTable {
+            bits: vec![initial; 1 << entries_log2],
+        }
+    }
+
+    #[inline]
+    fn get(&self, idx: u64) -> bool {
+        self.bits[idx as usize & (self.bits.len() - 1)]
+    }
+
+    #[inline]
+    fn set(&mut self, idx: u64, value: bool) {
+        let len = self.bits.len();
+        self.bits[idx as usize & (len - 1)] = value;
+    }
+
+    fn reset(&mut self, initial: bool) {
+        self.bits.fill(initial);
+    }
+}
+
+/// Apply one 2-bit saturating-counter step to a (direction, hysteresis)
+/// pair. Encoding: value = direction*2 + hysteresis, so 0..=1 predict
+/// not-taken, 2..=3 predict taken, exactly like [`crate::counter`].
+#[inline]
+fn step(direction: bool, hysteresis: bool, outcome: Outcome) -> (bool, bool) {
+    let value = (u8::from(direction) << 1) | u8::from(hysteresis);
+    let next = match outcome {
+        Outcome::Taken => (value + 1).min(3),
+        Outcome::NotTaken => value.saturating_sub(1),
+    };
+    (next & 0b10 != 0, next & 0b01 != 0)
+}
+
+/// A 3-bank skewed predictor with per-bank direction bits and half-size
+/// hysteresis tables (one hysteresis bit per pair of direction entries).
+///
+/// ```
+/// use bpred_core::distributed::SharedHysteresisGskew;
+/// use bpred_core::predictor::{BranchPredictor, Outcome};
+///
+/// let mut p = SharedHysteresisGskew::new(12, 8)?;
+/// // Per bank: 4K direction bits + 2K hysteresis bits:
+/// assert_eq!(p.storage_bits(), 3 * (4096 + 2048));
+/// let _ = p.predict(0x1000);
+/// p.update(0x1000, Outcome::Taken);
+/// # Ok::<(), bpred_core::error::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SharedHysteresisGskew {
+    direction: Vec<BitTable>,
+    hysteresis: Vec<BitTable>,
+    history: GlobalHistory,
+    n: u32,
+    policy: UpdatePolicy,
+}
+
+impl SharedHysteresisGskew {
+    /// Three `2^entries_log2`-bit direction banks, each with a half-size
+    /// hysteresis table (one bit per entry pair), partial update.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if `entries_log2` is out of `2..=30` or
+    /// `history_bits` exceeds 64.
+    pub fn new(entries_log2: u32, history_bits: u32) -> Result<Self, ConfigError> {
+        Self::with_policy(entries_log2, history_bits, UpdatePolicy::Partial)
+    }
+
+    /// As [`SharedHysteresisGskew::new`] with an explicit update policy.
+    ///
+    /// # Errors
+    ///
+    /// See [`SharedHysteresisGskew::new`].
+    pub fn with_policy(
+        entries_log2: u32,
+        history_bits: u32,
+        policy: UpdatePolicy,
+    ) -> Result<Self, ConfigError> {
+        if !(2..=30).contains(&entries_log2) {
+            return Err(ConfigError::invalid(
+                "entries_log2",
+                entries_log2,
+                "must be in 2..=30",
+            ));
+        }
+        if history_bits > 64 {
+            return Err(ConfigError::invalid(
+                "history_bits",
+                history_bits,
+                "must be at most 64",
+            ));
+        }
+        Ok(SharedHysteresisGskew {
+            // Boot weakly taken: direction 1, hysteresis 0 (value 2).
+            direction: (0..3).map(|_| BitTable::new(entries_log2, true)).collect(),
+            hysteresis: (0..3)
+                .map(|_| BitTable::new(entries_log2 - 1, false))
+                .collect(),
+            history: GlobalHistory::new(history_bits),
+            n: entries_log2,
+            policy,
+        })
+    }
+
+    #[inline]
+    fn indices(&self, pc: u64) -> [u64; 3] {
+        let packed =
+            InfoVector::new(pc, self.history.value(), self.history.len()).packed();
+        [
+            skew_index(0, packed, self.n),
+            skew_index(1, packed, self.n),
+            skew_index(2, packed, self.n),
+        ]
+    }
+
+    /// The counter kind this structure emulates.
+    pub fn counter_kind(&self) -> CounterKind {
+        CounterKind::TwoBit
+    }
+}
+
+impl BranchPredictor for SharedHysteresisGskew {
+    fn predict(&mut self, pc: u64) -> Prediction {
+        let idx = self.indices(pc);
+        let taken = (0..3)
+            .filter(|&b| self.direction[b].get(idx[b]))
+            .count();
+        Prediction::of(Outcome::from(taken >= 2))
+    }
+
+    fn update(&mut self, pc: u64, outcome: Outcome) {
+        let idx = self.indices(pc);
+        let votes: Vec<bool> = (0..3).map(|b| self.direction[b].get(idx[b])).collect();
+        let overall = Outcome::from(votes.iter().filter(|&&v| v).count() >= 2);
+        for bank in 0..3 {
+            let vote = Outcome::from(votes[bank]);
+            let train = match self.policy {
+                UpdatePolicy::Total => true,
+                UpdatePolicy::Partial => overall != outcome || vote == outcome,
+            };
+            if !train {
+                continue;
+            }
+            // Two adjacent direction entries share one hysteresis bit.
+            let hyst_idx = idx[bank] >> 1;
+            let (dir, hyst) =
+                step(votes[bank], self.hysteresis[bank].get(hyst_idx), outcome);
+            self.direction[bank].set(idx[bank], dir);
+            self.hysteresis[bank].set(hyst_idx, hyst);
+        }
+        self.history.push(outcome);
+    }
+
+    fn record_unconditional(&mut self, _pc: u64) {
+        self.history.push(Outcome::Taken);
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "shgskew 3x{}+{}hyst h={} {}",
+            1u64 << self.n,
+            1u64 << (self.n - 1),
+            self.history.len(),
+            self.policy
+        )
+    }
+
+    fn storage_bits(&self) -> u64 {
+        // Per bank: 2^n direction bits + 2^(n-1) hysteresis bits.
+        3 * ((1u64 << self.n) + (1u64 << (self.n - 1)))
+    }
+
+    fn reset(&mut self) {
+        for table in &mut self.direction {
+            table.reset(true);
+        }
+        for table in &mut self.hysteresis {
+            table.reset(false);
+        }
+        self.history.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_bit_step_matches_sat_counter() {
+        use crate::counter::SatCounter;
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
+        let mut reference = SatCounter::new(CounterKind::TwoBit);
+        // Start the pair at the reference's boot value (1 = weakly NT):
+        let (mut dir, mut hyst) = (false, true);
+        for _ in 0..200 {
+            let outcome = Outcome::from(rng.gen_bool(0.5));
+            reference.train(outcome);
+            let (d, h) = step(dir, hyst, outcome);
+            dir = d;
+            hyst = h;
+            let value = (u8::from(dir) << 1) | u8::from(hyst);
+            assert_eq!(value, reference.value(), "pair encoding diverged");
+        }
+    }
+
+    #[test]
+    fn learns_biased_branches() {
+        let mut p = SharedHysteresisGskew::new(8, 4).unwrap();
+        for _ in 0..16 {
+            p.update(0x1000, Outcome::Taken);
+            p.update(0x2000, Outcome::NotTaken);
+        }
+        // Predict under whatever history remains: retrain-free check via
+        // a couple more rounds with prediction sampling.
+        let mut right = 0;
+        for _ in 0..16 {
+            right += u32::from(p.predict(0x1000).outcome == Outcome::Taken);
+            p.update(0x1000, Outcome::Taken);
+            right += u32::from(p.predict(0x2000).outcome == Outcome::NotTaken);
+            p.update(0x2000, Outcome::NotTaken);
+        }
+        assert!(right >= 28, "got {right}/32");
+    }
+
+    #[test]
+    fn storage_is_three_quarters_of_full_2bit() {
+        let shared = SharedHysteresisGskew::new(12, 8).unwrap();
+        let full = crate::gskew::Gskew::standard(12, 8).unwrap();
+        assert_eq!(shared.storage_bits() * 4, full.storage_bits() * 3);
+    }
+
+    #[test]
+    fn boots_weakly_taken() {
+        let mut p = SharedHysteresisGskew::new(8, 4).unwrap();
+        assert_eq!(p.predict(0x1234).outcome, Outcome::Taken);
+    }
+
+    #[test]
+    fn reset_restores_fresh_state() {
+        let mut p = SharedHysteresisGskew::new(8, 4).unwrap();
+        for i in 0..200u64 {
+            p.update(0x1000 + 4 * (i % 11), Outcome::from(i % 2 == 0));
+        }
+        p.reset();
+        assert_eq!(p, SharedHysteresisGskew::new(8, 4).unwrap());
+    }
+
+    #[test]
+    fn rejects_bad_configs() {
+        assert!(SharedHysteresisGskew::new(1, 4).is_err());
+        assert!(SharedHysteresisGskew::new(8, 65).is_err());
+    }
+
+    #[test]
+    fn policy_is_respected() {
+        let partial = SharedHysteresisGskew::new(8, 4).unwrap();
+        let total =
+            SharedHysteresisGskew::with_policy(8, 4, UpdatePolicy::Total).unwrap();
+        assert!(partial.name().contains("partial"));
+        assert!(total.name().contains("total"));
+    }
+}

@@ -1,0 +1,73 @@
+//! Error types for predictor configuration and spec parsing.
+
+use std::error::Error;
+use std::fmt;
+
+/// An invalid predictor configuration or specification string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A numeric or enumerated parameter is out of its legal range.
+    InvalidParam {
+        /// Parameter name, e.g. `"bank_entries_log2"`.
+        name: &'static str,
+        /// The offending value, rendered.
+        value: String,
+        /// Why the value is rejected.
+        reason: &'static str,
+    },
+    /// The spec string names a predictor this crate does not provide.
+    UnknownPredictor(String),
+    /// The spec string is syntactically malformed.
+    Parse(String),
+}
+
+impl ConfigError {
+    /// Shorthand constructor for [`ConfigError::InvalidParam`].
+    pub fn invalid(name: &'static str, value: impl fmt::Display, reason: &'static str) -> Self {
+        ConfigError::InvalidParam {
+            name,
+            value: value.to_string(),
+            reason,
+        }
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::InvalidParam {
+                name,
+                value,
+                reason,
+            } => {
+                write!(f, "invalid value `{value}` for `{name}`: {reason}")
+            }
+            ConfigError::UnknownPredictor(name) => write!(f, "unknown predictor `{name}`"),
+            ConfigError::Parse(msg) => write!(f, "malformed predictor spec: {msg}"),
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = ConfigError::invalid("n", 42, "must be at most 30");
+        assert_eq!(e.to_string(), "invalid value `42` for `n`: must be at most 30");
+        assert_eq!(
+            ConfigError::UnknownPredictor("foo".into()).to_string(),
+            "unknown predictor `foo`"
+        );
+        assert!(ConfigError::Parse("x".into()).to_string().contains("malformed"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn takes_error<E: Error + Send + Sync + 'static>(_: E) {}
+        takes_error(ConfigError::Parse("x".into()));
+    }
+}

@@ -1,0 +1,219 @@
+//! Tag-less predictor index functions: bimodal, *gshare* and *gselect*.
+//!
+//! Given an [`InfoVector`] and a table of `2^n` entries, each function maps
+//! the vector to an `n`-bit table index:
+//!
+//! * **bimodal** — bit truncation of the branch address, `addr mod 2^n`
+//!   (no history);
+//! * **gshare** — XOR of address and history bits (McFarling). Following
+//!   footnote 1 of the paper, when the history is shorter than the index the
+//!   history bits are XORed with the *higher-order* end of the low-order
+//!   address bits;
+//! * **gselect** — concatenation of low-order address bits and history bits
+//!   (GAs in Yeh and Patt's terminology).
+
+use crate::vector::InfoVector;
+use std::fmt;
+
+/// A hashing function mapping `(address, history)` pairs onto a `2^n`-entry
+/// table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IndexFunction {
+    /// Address bit truncation (ignores history).
+    Bimodal,
+    /// Address XOR history, history aligned to the high-order end
+    /// (footnote 1).
+    Gshare,
+    /// Concatenation: low `n-k` address bits above the `k` history bits.
+    Gselect,
+}
+
+impl IndexFunction {
+    /// Compute the `n`-bit index for vector `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is 0 or greater than 30.
+    #[inline]
+    pub fn index(self, v: &InfoVector, n: u32) -> u64 {
+        assert!(n > 0 && n <= 30, "index width {n} out of range 1..=30");
+        let mask = (1u64 << n) - 1;
+        let k = v.hist_bits();
+        match self {
+            IndexFunction::Bimodal => v.addr() & mask,
+            IndexFunction::Gshare => {
+                let h = if k <= n {
+                    // Footnote 1: align short history with the high-order
+                    // end of the n low-order address bits.
+                    v.hist() << (n - k)
+                } else {
+                    // Longer-than-index history: XOR-fold n-bit chunks so
+                    // every history bit still contributes.
+                    fold(v.hist(), k, n)
+                };
+                (v.addr() ^ h) & mask
+            }
+            IndexFunction::Gselect => {
+                if k >= n {
+                    // Degenerate case the paper calls out: with a 12-bit
+                    // history and small tables, gselect uses few or no
+                    // address bits.
+                    v.hist() & mask
+                } else {
+                    ((v.addr() << k) | v.hist()) & mask
+                }
+            }
+        }
+    }
+
+    /// Parse from the names used in predictor spec strings.
+    pub fn from_name(name: &str) -> Option<IndexFunction> {
+        match name {
+            "bimodal" => Some(IndexFunction::Bimodal),
+            "gshare" => Some(IndexFunction::Gshare),
+            "gselect" => Some(IndexFunction::Gselect),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for IndexFunction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            IndexFunction::Bimodal => "bimodal",
+            IndexFunction::Gshare => "gshare",
+            IndexFunction::Gselect => "gselect",
+        })
+    }
+}
+
+/// XOR-fold the low `from` bits of `x` down to `to` bits.
+#[inline]
+fn fold(mut x: u64, from: u32, to: u32) -> u64 {
+    debug_assert!(to > 0 && from > to);
+    let mask = (1u64 << to) - 1;
+    let mut acc = 0u64;
+    let mut remaining = from;
+    while remaining > 0 {
+        acc ^= x & mask;
+        x >>= to;
+        remaining = remaining.saturating_sub(to);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vec_of(pc: u64, hist: u64, k: u32) -> InfoVector {
+        InfoVector::new(pc, hist, k)
+    }
+
+    #[test]
+    fn bimodal_truncates_address() {
+        let f = IndexFunction::Bimodal;
+        let v = vec_of(0x12345678, 0b1111, 4);
+        assert_eq!(f.index(&v, 8), (0x12345678 >> 2) & 0xff);
+    }
+
+    #[test]
+    fn bimodal_ignores_history() {
+        let f = IndexFunction::Bimodal;
+        let a = vec_of(0x1000, 0b0000, 4);
+        let b = vec_of(0x1000, 0b1111, 4);
+        assert_eq!(f.index(&a, 10), f.index(&b, 10));
+    }
+
+    #[test]
+    fn gshare_aligns_short_history_high() {
+        // n = 8, k = 4: history must land in bits 4..8 of the index.
+        let f = IndexFunction::Gshare;
+        let base = vec_of(0, 0, 4);
+        let hist = vec_of(0, 0b1111, 4);
+        assert_eq!(f.index(&base, 8), 0);
+        assert_eq!(f.index(&hist, 8), 0b1111_0000);
+    }
+
+    #[test]
+    fn gshare_equal_lengths_is_plain_xor() {
+        let f = IndexFunction::Gshare;
+        let v = vec_of(0b1010_1100 << 2, 0b0110_0011, 8);
+        assert_eq!(f.index(&v, 8), 0b1010_1100 ^ 0b0110_0011);
+    }
+
+    #[test]
+    fn gshare_folds_long_history() {
+        // n = 4, k = 8: both history nibbles must contribute.
+        let f = IndexFunction::Gshare;
+        let v = vec_of(0, 0b1001_0110, 8);
+        assert_eq!(f.index(&v, 4), 0b1001 ^ 0b0110);
+    }
+
+    #[test]
+    fn gselect_concatenates() {
+        // n = 8, k = 4: index = (addr_low4 << 4) | hist.
+        let f = IndexFunction::Gselect;
+        let v = vec_of(0b1011 << 2, 0b0101, 4);
+        assert_eq!(f.index(&v, 8), 0b1011_0101);
+    }
+
+    #[test]
+    fn gselect_long_history_drops_address() {
+        let f = IndexFunction::Gselect;
+        let a = vec_of(0x1000, 0xABC, 12);
+        let b = vec_of(0x2000, 0xABC, 12);
+        assert_eq!(f.index(&a, 10), f.index(&b, 10));
+        assert_eq!(f.index(&a, 10), 0xABC & 0x3FF);
+    }
+
+    #[test]
+    fn gshare_and_gselect_conflict_on_different_pairs() {
+        // The observation behind figure 3: the pairs that collide under one
+        // mapping differ from the pairs that collide under the other.
+        let f_sh = IndexFunction::Gshare;
+        let f_se = IndexFunction::Gselect;
+        let n = 4;
+        // Two vectors that gshare aliases (same XOR) but gselect separates.
+        let v = vec_of(0b0011 << 2, 0b0101, 4);
+        let w = vec_of(0b1100 << 2, 0b1010, 4);
+        assert_eq!(f_sh.index(&v, n), f_sh.index(&w, n));
+        assert_ne!(f_se.index(&v, n), f_se.index(&w, n));
+    }
+
+    #[test]
+    fn all_functions_stay_in_range() {
+        for f in [
+            IndexFunction::Bimodal,
+            IndexFunction::Gshare,
+            IndexFunction::Gselect,
+        ] {
+            for n in [1u32, 4, 12, 20] {
+                for pc in [0u64, 0x7fff_fffc, 0xdead_beef] {
+                    for k in [0u32, 4, 12, 24] {
+                        let v = vec_of(pc, 0x00ff_f0f0, k);
+                        assert!(f.index(&v, n) < (1 << n));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn from_name_roundtrip() {
+        for f in [
+            IndexFunction::Bimodal,
+            IndexFunction::Gshare,
+            IndexFunction::Gselect,
+        ] {
+            assert_eq!(IndexFunction::from_name(&f.to_string()), Some(f));
+        }
+        assert_eq!(IndexFunction::from_name("nope"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn zero_width_index_panics() {
+        IndexFunction::Bimodal.index(&vec_of(0, 0, 0), 0);
+    }
+}

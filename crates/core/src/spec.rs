@@ -1,0 +1,390 @@
+//! Textual predictor specifications.
+//!
+//! The CLI and the experiment harness describe predictors as compact spec
+//! strings of the form `name:key=value,key=value`. Example specs:
+//!
+//! ```text
+//! gshare:n=14,h=12              16K-entry gshare, 12 bits of history
+//! gskew:n=12,h=8                3x4K gskew, partial update (defaults)
+//! gskew:n=12,h=8,update=total   ... with total update
+//! egskew:n=12,h=11              enhanced gskew
+//! gskew:n=12,h=8,banks=5        5-bank ablation
+//! bimodal:n=14                  bimodal
+//! ideal:h=12,ctr=1              unaliased predictor, 1-bit automatons
+//! falru:cap=4096,h=4            fully-associative LRU tagged table
+//! setassoc:n=10,ways=4,h=4      4-way set-associative tagged table
+//! mcfarling:n=12,h=10           gshare+bimodal combining predictor
+//! 2bcgskew:n=12,h=12            EV8-style hybrid
+//! always-taken                  static baseline
+//! ```
+//!
+//! Recognized keys (unknown keys are an error): `n` (log2 entries per
+//! table/bank), `h` (history bits), `ctr` (counter bits), `banks`,
+//! `update` (`partial`/`total`), `skew` (`on`/`off`, the
+//! identical-indexing ablation), `cap` (entry count for `falru`), `ways`,
+//! `miss` (`taken`/`nottaken`), `bias` (agree bias-table log2), `choice`
+//! (bimode choice-table log2), `bht`/`l` (per-address first-level log2 /
+//! local history bits).
+
+//! Additional families beyond the paper's: `agree:n=12,h=8`,
+//! `bimode:n=12,h=8`, `pas:bht=10,l=8,n=12`, `spas:bht=10,l=8,n=10`.
+
+use crate::agree::Agree;
+use crate::assoc::{FullyAssociative, MissPolicy, SetAssociative};
+use crate::bimodal::Bimodal;
+use crate::bimode::BiMode;
+use crate::counter::CounterKind;
+use crate::distributed::SharedHysteresisGskew;
+use crate::error::ConfigError;
+use crate::gselect::Gselect;
+use crate::gshare::Gshare;
+use crate::gskew::{Gskew, UpdatePolicy};
+use crate::hybrid::{McFarling, TwoBcGskew};
+use crate::ideal::Ideal;
+use crate::pas::{Pas, SkewedPas};
+use crate::predictor::BranchPredictor;
+use crate::statics::{AlwaysNotTaken, AlwaysTaken};
+use std::collections::HashMap;
+
+/// Parsed key=value parameters of a spec string.
+#[derive(Debug, Clone, Default)]
+struct Params {
+    map: HashMap<String, String>,
+}
+
+impl Params {
+    fn parse(body: &str) -> Result<Self, ConfigError> {
+        let mut map = HashMap::new();
+        for item in body.split(',').filter(|s| !s.is_empty()) {
+            let (k, v) = item
+                .split_once('=')
+                .ok_or_else(|| ConfigError::Parse(format!("expected key=value, got `{item}`")))?;
+            if map.insert(k.trim().to_string(), v.trim().to_string()).is_some() {
+                return Err(ConfigError::Parse(format!("duplicate key `{k}`")));
+            }
+        }
+        Ok(Params { map })
+    }
+
+    fn u32(&mut self, key: &str, default: u32) -> Result<u32, ConfigError> {
+        match self.map.remove(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ConfigError::Parse(format!("`{key}` must be an integer, got `{v}`"))),
+        }
+    }
+
+    fn usize(&mut self, key: &str, default: usize) -> Result<usize, ConfigError> {
+        match self.map.remove(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ConfigError::Parse(format!("`{key}` must be an integer, got `{v}`"))),
+        }
+    }
+
+    fn counter(&mut self, default: CounterKind) -> Result<CounterKind, ConfigError> {
+        match self.map.remove("ctr") {
+            None => Ok(default),
+            Some(v) => {
+                let bits: u8 = v.parse().map_err(|_| {
+                    ConfigError::Parse(format!("`ctr` must be an integer, got `{v}`"))
+                })?;
+                CounterKind::from_bits(bits)
+                    .ok_or_else(|| ConfigError::invalid("ctr", bits, "must be in 1..=7"))
+            }
+        }
+    }
+
+    fn update_policy(&mut self) -> Result<UpdatePolicy, ConfigError> {
+        match self.map.remove("update") {
+            None => Ok(UpdatePolicy::Partial),
+            Some(v) => UpdatePolicy::from_name(&v)
+                .ok_or_else(|| ConfigError::Parse(format!("`update` must be partial|total, got `{v}`"))),
+        }
+    }
+
+    fn miss_policy(&mut self) -> Result<MissPolicy, ConfigError> {
+        match self.map.remove("miss").as_deref() {
+            None | Some("taken") => Ok(MissPolicy::AlwaysTaken),
+            Some("nottaken") => Ok(MissPolicy::AlwaysNotTaken),
+            Some(v) => Err(ConfigError::Parse(format!(
+                "`miss` must be taken|nottaken, got `{v}`"
+            ))),
+        }
+    }
+
+    fn finish(self) -> Result<(), ConfigError> {
+        if let Some(key) = self.map.keys().next() {
+            return Err(ConfigError::Parse(format!("unknown key `{key}`")));
+        }
+        Ok(())
+    }
+}
+
+/// Build a predictor from a spec string.
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] for unknown predictor names, malformed or
+/// unknown keys, and out-of-range parameter values.
+///
+/// ```
+/// use bpred_core::spec::parse_spec;
+///
+/// let p = parse_spec("gskew:n=12,h=8")?;
+/// assert_eq!(p.name(), "gskew 3x4096 h=8 2-bit partial");
+/// # Ok::<(), bpred_core::error::ConfigError>(())
+/// ```
+pub fn parse_spec(spec: &str) -> Result<Box<dyn BranchPredictor>, ConfigError> {
+    let (name, body) = match spec.split_once(':') {
+        Some((n, b)) => (n.trim(), b),
+        None => (spec.trim(), ""),
+    };
+    let mut p = Params::parse(body)?;
+    let boxed: Box<dyn BranchPredictor> = match name {
+        "bimodal" => {
+            let n = p.u32("n", 12)?;
+            let ctr = p.counter(CounterKind::TwoBit)?;
+            p.finish()?;
+            Box::new(Bimodal::new(n, ctr)?)
+        }
+        "gshare" => {
+            let n = p.u32("n", 12)?;
+            let h = p.u32("h", 8)?;
+            let ctr = p.counter(CounterKind::TwoBit)?;
+            p.finish()?;
+            Box::new(Gshare::new(n, h, ctr)?)
+        }
+        "gselect" => {
+            let n = p.u32("n", 12)?;
+            let h = p.u32("h", 8)?;
+            let ctr = p.counter(CounterKind::TwoBit)?;
+            p.finish()?;
+            Box::new(Gselect::new(n, h, ctr)?)
+        }
+        "gskew" | "egskew" => {
+            let n = p.u32("n", 12)?;
+            let h = p.u32("h", 8)?;
+            let banks = p.usize("banks", 3)?;
+            let ctr = p.counter(CounterKind::TwoBit)?;
+            let update = p.update_policy()?;
+            let skewing = match p.map.remove("skew").as_deref() {
+                None | Some("on") => true,
+                Some("off") => false,
+                Some(v) => {
+                    return Err(ConfigError::Parse(format!(
+                        "`skew` must be on|off, got `{v}`"
+                    )))
+                }
+            };
+            p.finish()?;
+            Box::new(
+                Gskew::builder()
+                    .banks(banks)
+                    .bank_entries_log2(n)
+                    .history_bits(h)
+                    .counter(ctr)
+                    .update_policy(update)
+                    .enhanced(name == "egskew")
+                    .identical_indexing(!skewing)
+                    .build()?,
+            )
+        }
+        "agree" => {
+            let n = p.u32("n", 12)?;
+            let h = p.u32("h", 8)?;
+            let bias = p.u32("bias", 0)?;
+            let ctr = p.counter(CounterKind::TwoBit)?;
+            p.finish()?;
+            let bias = if bias == 0 { n } else { bias };
+            Box::new(Agree::new(n, h, bias, ctr)?)
+        }
+        "bimode" => {
+            let n = p.u32("n", 12)?;
+            let h = p.u32("h", 8)?;
+            let choice = p.u32("choice", 0)?;
+            let ctr = p.counter(CounterKind::TwoBit)?;
+            p.finish()?;
+            let choice = if choice == 0 { n } else { choice };
+            Box::new(BiMode::new(n, h, choice, ctr)?)
+        }
+        "pas" => {
+            let bht = p.u32("bht", 10)?;
+            let l = p.u32("l", 8)?;
+            let n = p.u32("n", 12)?;
+            let ctr = p.counter(CounterKind::TwoBit)?;
+            p.finish()?;
+            Box::new(Pas::new(bht, l, n, ctr)?)
+        }
+        "spas" => {
+            let bht = p.u32("bht", 10)?;
+            let l = p.u32("l", 8)?;
+            let n = p.u32("n", 10)?;
+            let ctr = p.counter(CounterKind::TwoBit)?;
+            let update = p.update_policy()?;
+            p.finish()?;
+            Box::new(SkewedPas::new(bht, l, n, ctr, update)?)
+        }
+        "ideal" => {
+            let h = p.u32("h", 8)?;
+            let ctr = p.counter(CounterKind::TwoBit)?;
+            p.finish()?;
+            Box::new(Ideal::new(h, ctr)?)
+        }
+        "falru" => {
+            let cap = p.usize("cap", 4096)?;
+            let h = p.u32("h", 8)?;
+            let ctr = p.counter(CounterKind::TwoBit)?;
+            let miss = p.miss_policy()?;
+            p.finish()?;
+            Box::new(FullyAssociative::new(cap, h, ctr)?.with_miss_policy(miss))
+        }
+        "setassoc" => {
+            let n = p.u32("n", 10)?;
+            let ways = p.usize("ways", 4)?;
+            let h = p.u32("h", 8)?;
+            let ctr = p.counter(CounterKind::TwoBit)?;
+            let miss = p.miss_policy()?;
+            p.finish()?;
+            Box::new(SetAssociative::new(n, ways, h, ctr)?.with_miss_policy(miss))
+        }
+        "mcfarling" => {
+            let n = p.u32("n", 12)?;
+            let h = p.u32("h", 8)?;
+            let ctr = p.counter(CounterKind::TwoBit)?;
+            p.finish()?;
+            Box::new(McFarling::new(
+                Box::new(Bimodal::new(n, ctr)?),
+                Box::new(Gshare::new(n, h, ctr)?),
+                n,
+            )?)
+        }
+        "shgskew" => {
+            let n = p.u32("n", 12)?;
+            let h = p.u32("h", 8)?;
+            let update = p.update_policy()?;
+            p.finish()?;
+            Box::new(SharedHysteresisGskew::with_policy(n, h, update)?)
+        }
+        "2bcgskew" => {
+            let n = p.u32("n", 12)?;
+            let h = p.u32("h", 12)?;
+            p.finish()?;
+            Box::new(TwoBcGskew::new(n, h)?)
+        }
+        "always-taken" => {
+            p.finish()?;
+            Box::new(AlwaysTaken::new())
+        }
+        "always-nottaken" => {
+            p.finish()?;
+            Box::new(AlwaysNotTaken::new())
+        }
+        other => return Err(ConfigError::UnknownPredictor(other.to_string())),
+    };
+    Ok(boxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_predictor_name() {
+        for spec in [
+            "bimodal:n=10",
+            "gshare:n=12,h=8",
+            "gselect:n=12,h=6",
+            "gskew:n=10,h=8",
+            "gskew:n=10,h=8,banks=5,update=total",
+            "egskew:n=10,h=11",
+            "ideal:h=4,ctr=1",
+            "falru:cap=512,h=4",
+            "setassoc:n=8,ways=4,h=4,miss=nottaken",
+            "mcfarling:n=10,h=8",
+            "2bcgskew:n=10,h=10",
+            "always-taken",
+            "always-nottaken",
+            "agree:n=10,h=6",
+            "agree:n=10,h=6,bias=8",
+            "bimode:n=10,h=6,choice=9",
+            "pas:bht=8,l=6,n=10",
+            "spas:bht=8,l=6,n=8,update=total",
+            "shgskew:n=10,h=6",
+            "shgskew:n=10,h=6,update=total",
+            "gskew:n=10,h=4,skew=off",
+        ] {
+            let p = parse_spec(spec).unwrap_or_else(|e| panic!("{spec}: {e}"));
+            assert!(!p.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn defaults_are_sane() {
+        let p = parse_spec("gskew").unwrap();
+        assert_eq!(p.name(), "gskew 3x4096 h=8 2-bit partial");
+    }
+
+    #[test]
+    fn rejects_unknown_name() {
+        assert!(matches!(
+            parse_spec("tage:n=12"),
+            Err(ConfigError::UnknownPredictor(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_unknown_key() {
+        let e = match parse_spec("gshare:n=12,bogus=1") {
+            Err(e) => e,
+            Ok(_) => panic!("unknown key accepted"),
+        };
+        assert!(e.to_string().contains("bogus"), "{e}");
+    }
+
+    #[test]
+    fn rejects_malformed_pairs() {
+        assert!(parse_spec("gshare:n").is_err());
+        assert!(parse_spec("gshare:n=abc").is_err());
+        assert!(parse_spec("gshare:n=12,n=13").is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_values() {
+        assert!(parse_spec("gshare:n=0").is_err());
+        assert!(parse_spec("gshare:ctr=9").is_err());
+        assert!(parse_spec("gskew:banks=2").is_err());
+        assert!(parse_spec("gskew:update=sometimes").is_err());
+        assert!(parse_spec("falru:cap=0").is_err());
+        assert!(parse_spec("falru:miss=maybe").is_err());
+    }
+
+    #[test]
+    fn spec_controls_update_policy() {
+        let p = parse_spec("gskew:n=10,h=4,update=total").unwrap();
+        assert!(p.name().contains("total"));
+        let q = parse_spec("gskew:n=10,h=4").unwrap();
+        assert!(q.name().contains("partial"));
+    }
+
+    #[test]
+    fn skew_off_is_the_identical_indexing_ablation() {
+        let p = parse_spec("gskew:n=10,h=4,skew=off").unwrap();
+        assert!(p.name().ends_with("same-index"));
+        assert!(parse_spec("gskew:skew=sideways").is_err());
+    }
+
+    #[test]
+    fn agree_bias_defaults_to_counter_size() {
+        let p = parse_spec("agree:n=11,h=6").unwrap();
+        assert!(p.name().contains("bias=2048"), "{}", p.name());
+    }
+
+    #[test]
+    fn egskew_is_enhanced() {
+        let p = parse_spec("egskew:n=10,h=11").unwrap();
+        assert!(p.name().starts_with("egskew"));
+    }
+}

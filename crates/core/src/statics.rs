@@ -1,0 +1,79 @@
+//! Trivial static predictors, used as baselines and as miss fallbacks.
+
+use crate::predictor::{BranchPredictor, Outcome, Prediction};
+
+/// Predicts every branch taken. The paper uses this as the static fallback
+/// for tagged-table misses (figure 8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AlwaysTaken;
+
+impl AlwaysTaken {
+    /// Construct the predictor.
+    pub fn new() -> Self {
+        AlwaysTaken
+    }
+}
+
+impl BranchPredictor for AlwaysTaken {
+    fn predict(&mut self, _pc: u64) -> Prediction {
+        Prediction::of(Outcome::Taken)
+    }
+    fn update(&mut self, _pc: u64, _outcome: Outcome) {}
+    fn name(&self) -> String {
+        "always-taken".into()
+    }
+    fn storage_bits(&self) -> u64 {
+        0
+    }
+    fn reset(&mut self) {}
+}
+
+/// Predicts every branch not taken.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AlwaysNotTaken;
+
+impl AlwaysNotTaken {
+    /// Construct the predictor.
+    pub fn new() -> Self {
+        AlwaysNotTaken
+    }
+}
+
+impl BranchPredictor for AlwaysNotTaken {
+    fn predict(&mut self, _pc: u64) -> Prediction {
+        Prediction::of(Outcome::NotTaken)
+    }
+    fn update(&mut self, _pc: u64, _outcome: Outcome) {}
+    fn name(&self) -> String {
+        "always-not-taken".into()
+    }
+    fn storage_bits(&self) -> u64 {
+        0
+    }
+    fn reset(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn statics_never_learn() {
+        let mut t = AlwaysTaken::new();
+        let mut n = AlwaysNotTaken::new();
+        for i in 0..10u64 {
+            t.update(i * 4, Outcome::NotTaken);
+            n.update(i * 4, Outcome::Taken);
+        }
+        assert_eq!(t.predict(0).outcome, Outcome::Taken);
+        assert_eq!(n.predict(0).outcome, Outcome::NotTaken);
+        assert_eq!(t.storage_bits(), 0);
+        assert_eq!(n.storage_bits(), 0);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(AlwaysTaken::new().name(), "always-taken");
+        assert_eq!(AlwaysNotTaken::new().name(), "always-not-taken");
+    }
+}

@@ -1,0 +1,76 @@
+//! Data series for figures 9 and 10: destructive-aliasing probability of
+//! the 1-bank and 3-bank organizations as a function of the per-bank
+//! aliasing probability, at the worst-case bias `b = 1/2`.
+
+use crate::skew::{p_dm, p_sk};
+
+/// One point of the figure 9/10 curves.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CurvePoint {
+    /// Per-bank aliasing probability.
+    pub p: f64,
+    /// Direct-mapped destructive-aliasing probability (`p/2` at `b=1/2`).
+    pub direct_mapped: f64,
+    /// 3-bank skewed destructive-aliasing probability.
+    pub skewed: f64,
+}
+
+/// Sample the curves over `p ∈ [0, p_max]` with `points` samples
+/// (inclusive of both ends). Figure 9 uses `p_max = 1`; figure 10 zooms
+/// into `p_max ≈ 0.2`.
+///
+/// # Panics
+///
+/// Panics if `points < 2` or `p_max` is not in `(0, 1]`.
+pub fn destructive_aliasing_curve(p_max: f64, points: usize) -> Vec<CurvePoint> {
+    assert!(points >= 2, "need at least the two endpoints");
+    assert!(p_max > 0.0 && p_max <= 1.0, "p_max must be in (0, 1]");
+    (0..points)
+        .map(|i| {
+            let p = p_max * i as f64 / (points - 1) as f64;
+            CurvePoint {
+                p,
+                direct_mapped: p_dm(p, 0.5),
+                skewed: p_sk(p, 0.5),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoints() {
+        let c = destructive_aliasing_curve(1.0, 11);
+        assert_eq!(c.len(), 11);
+        assert_eq!(c[0].p, 0.0);
+        assert_eq!(c[0].direct_mapped, 0.0);
+        assert_eq!(c[0].skewed, 0.0);
+        assert!((c[10].p - 1.0).abs() < 1e-12);
+        // At p=1 (b=1/2): P_dm = 1/2, P_sk = 1/2.
+        assert!((c[10].direct_mapped - 0.5).abs() < 1e-12);
+        assert!((c[10].skewed - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skewed_below_direct_in_zoom_region() {
+        // Figure 10's message: for small p the skewed curve hugs zero.
+        for point in destructive_aliasing_curve(0.2, 21).iter().skip(1) {
+            assert!(
+                point.skewed < point.direct_mapped,
+                "p={}: {} >= {}",
+                point.p,
+                point.skewed,
+                point.direct_mapped
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "endpoints")]
+    fn one_point_panics() {
+        let _ = destructive_aliasing_curve(1.0, 1);
+    }
+}

@@ -1,0 +1,104 @@
+//! Formulas (1) and (2): the per-table aliasing probability.
+//!
+//! For a dynamic reference whose last-use distance is `D` (the number of
+//! distinct `(address, history)` pairs encountered since its previous
+//! occurrence), and a hashing function that spreads those `D` vectors
+//! uniformly over `N` entries:
+//!
+//! ```text
+//! p_N = 1 - (1 - 1/N)^D            (1)
+//! p_N ≈ 1 - e^(-D/N)   for N >> 1  (2)
+//! ```
+
+/// Formula (1): exact aliasing probability for last-use distance `d` in an
+/// `n`-entry table.
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+///
+/// ```
+/// use bpred_model::prob::aliasing_probability;
+///
+/// assert_eq!(aliasing_probability(0, 1024), 0.0); // immediate reuse
+/// assert!(aliasing_probability(1024, 1024) > 0.6);
+/// ```
+pub fn aliasing_probability(d: u64, n: u64) -> f64 {
+    assert!(n > 0, "table size must be nonzero");
+    // (1 - 1/N)^D via exp/ln for numerical stability at large D.
+    let base = 1.0 - 1.0 / n as f64;
+    if base == 0.0 {
+        // N = 1: any nonzero distance guarantees aliasing.
+        return if d == 0 { 0.0 } else { 1.0 };
+    }
+    1.0 - (d as f64 * base.ln()).exp()
+}
+
+/// Formula (2): the large-`N` exponential approximation `1 - e^(-D/N)`.
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+pub fn aliasing_probability_approx(d: u64, n: u64) -> f64 {
+    assert!(n > 0, "table size must be nonzero");
+    1.0 - (-(d as f64) / n as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boundary_values() {
+        assert_eq!(aliasing_probability(0, 4096), 0.0);
+        assert!(aliasing_probability(1, 1) == 1.0);
+        assert!(aliasing_probability(u64::MAX / 2, 2) > 0.999);
+    }
+
+    #[test]
+    fn monotone_in_distance() {
+        let mut prev = -1.0;
+        for d in [0u64, 1, 10, 100, 1_000, 10_000, 100_000] {
+            let p = aliasing_probability(d, 4096);
+            assert!(p > prev);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn monotone_decreasing_in_size() {
+        let mut prev = 2.0;
+        for n in [64u64, 256, 1_024, 4_096, 16_384] {
+            let p = aliasing_probability(1_000, n);
+            assert!(p < prev);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn approximation_close_for_large_n() {
+        for d in [10u64, 100, 1_000, 10_000] {
+            for n in [1_024u64, 4_096, 65_536] {
+                let exact = aliasing_probability(d, n);
+                let approx = aliasing_probability_approx(d, n);
+                assert!(
+                    (exact - approx).abs() < 1e-3,
+                    "d={d} n={n}: {exact} vs {approx}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn known_value() {
+        // D = N: p = 1 - (1-1/N)^N -> 1 - 1/e as N grows.
+        let p = aliasing_probability(65_536, 65_536);
+        assert!((p - (1.0 - (-1.0f64).exp())).abs() < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_table_panics() {
+        let _ = aliasing_probability(1, 0);
+    }
+}

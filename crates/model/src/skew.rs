@@ -1,0 +1,224 @@
+//! Formulas (3) and (4): destructive-aliasing probability of the skewed
+//! and direct-mapped organizations, and the crossover analysis.
+//!
+//! The model assumes 1-bit automatons, total update, and per-bank aliasing
+//! events made independent by the distinct hashing functions. `b` is the
+//! probability that a substream is biased taken.
+
+/// Formula (4): probability that a 1-bank direct-mapped prediction differs
+/// from the unaliased prediction, given per-table aliasing probability `p`
+/// and bias `b`: `P_dm = 2 b (1-b) p`.
+pub fn p_dm(p: f64, b: f64) -> f64 {
+    debug_assert!((0.0..=1.0).contains(&p) && (0.0..=1.0).contains(&b));
+    2.0 * b * (1.0 - b) * p
+}
+
+/// Formula (3): probability that a 3-bank skewed prediction differs from
+/// the unaliased prediction.
+///
+/// The four cases of section 5.2: with 0 or 1 aliased banks the majority
+/// matches the unaliased prediction; with 2 aliased banks both must flip
+/// (`b(1-b)² + (1-b)b²`); with all 3 aliased at least two of three
+/// independent substream values must oppose the unaliased direction.
+pub fn p_sk(p: f64, b: f64) -> f64 {
+    debug_assert!((0.0..=1.0).contains(&p) && (0.0..=1.0).contains(&b));
+    let q = 1.0 - b;
+    3.0 * p * p * (1.0 - p) * b * q
+        + p.powi(3) * b * (3.0 * b * q * q + q.powi(3))
+        + p.powi(3) * q * (3.0 * q * b * b + b.powi(3))
+}
+
+/// The general M-bank polynomial at the worst-case bias `b = 1/2`.
+///
+/// At `b = 1/2` an aliased bank shows a flipped prediction with
+/// probability 1/2 independently, so each bank flips with probability
+/// `r = p/2` and the overall prediction flips when a majority of the `m`
+/// banks flip. For `m = 3` this reduces exactly to formula (3) at
+/// `b = 1/2`; for `m = 1` it reduces to formula (4).
+///
+/// # Panics
+///
+/// Panics if `m` is even or zero.
+pub fn p_sk_m(p: f64, m: u32) -> f64 {
+    assert!(m % 2 == 1, "majority vote needs an odd bank count");
+    let r = p / 2.0;
+    let need = m / 2 + 1;
+    (need..=m)
+        .map(|k| binomial(m, k) * r.powi(k as i32) * (1.0 - r).powi((m - k) as i32))
+        .sum()
+}
+
+/// The exact bias-aware M-bank generalization of formula (3).
+///
+/// Condition on the unaliased direction `d` (taken with probability `b`,
+/// the bias density): a bank differs from `d` when it is aliased (prob
+/// `p`) *and* the aliasing substream's automaton points the other way
+/// (prob `1-b` when `d` is taken, `b` otherwise). The skewed prediction
+/// flips when a majority of the `m` banks differ. For `m = 3` this equals
+/// formula (3) term for term; for `m = 1` it reduces to formula (4).
+///
+/// # Panics
+///
+/// Panics if `m` is even or zero.
+pub fn p_sk_general(p: f64, b: f64, m: u32) -> f64 {
+    assert!(m % 2 == 1, "majority vote needs an odd bank count");
+    debug_assert!((0.0..=1.0).contains(&p) && (0.0..=1.0).contains(&b));
+    let need = m / 2 + 1;
+    let flip_given = |differ: f64| -> f64 {
+        (need..=m)
+            .map(|k| binomial(m, k) * differ.powi(k as i32) * (1.0 - differ).powi((m - k) as i32))
+            .sum::<f64>()
+    };
+    b * flip_given(p * (1.0 - b)) + (1.0 - b) * flip_given(p * b)
+}
+
+fn binomial(n: u32, k: u32) -> f64 {
+    let k = k.min(n - k);
+    let mut num = 1.0f64;
+    let mut den = 1.0f64;
+    for i in 0..k {
+        num *= f64::from(n - i);
+        den *= f64::from(i + 1);
+    }
+    num / den
+}
+
+/// Numerically locate the last-use distance `D*` at which a 3×(N/3)-entry
+/// skewed predictor stops beating an N-entry direct-mapped table
+/// (section 5.2: "approximately N/10").
+///
+/// Uses bias `b = 1/2` and formula (1) for the per-bank probabilities.
+/// Returns the smallest `D` where `P_sk >= P_dm` (with both nonzero).
+///
+/// # Panics
+///
+/// Panics if `total_entries < 3`.
+pub fn crossover_distance(total_entries: u64) -> u64 {
+    assert!(total_entries >= 3, "need at least one entry per bank");
+    let bank = total_entries / 3;
+    let b = 0.5;
+    let mut lo = 1u64;
+    let mut hi = total_entries * 4;
+    // The sign of (P_sk - P_dm) is monotone in D over the relevant range:
+    // bisect on it.
+    let diff = |d: u64| {
+        let psk = p_sk(crate::prob::aliasing_probability(d, bank), b);
+        let pdm = p_dm(crate::prob::aliasing_probability(d, total_entries), b);
+        psk - pdm
+    };
+    if diff(lo) >= 0.0 {
+        return lo;
+    }
+    while lo + 1 < hi {
+        let mid = lo + (hi - lo) / 2;
+        if diff(mid) < 0.0 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    hi
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worst_case_bias_polynomials() {
+        // At b = 1/2: P_sk = (3/4)p^2(1-p) + (1/2)p^3, P_dm = p/2.
+        for p in [0.0, 0.05, 0.1, 0.3, 0.7, 1.0] {
+            let expected_sk = 0.75 * p * p * (1.0 - p) + 0.5 * p * p * p;
+            assert!((p_sk(p, 0.5) - expected_sk).abs() < 1e-12, "p={p}");
+            assert!((p_dm(p, 0.5) - p / 2.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn general_m_matches_special_cases() {
+        for p in [0.0, 0.1, 0.4, 0.9, 1.0] {
+            assert!((p_sk_m(p, 3) - p_sk(p, 0.5)).abs() < 1e-12, "m=3 p={p}");
+            assert!((p_sk_m(p, 1) - p_dm(p, 0.5)).abs() < 1e-12, "m=1 p={p}");
+        }
+    }
+
+    #[test]
+    fn more_banks_flatten_the_low_p_region() {
+        // At small p, higher-degree polynomials are smaller.
+        let p = 0.1;
+        assert!(p_sk_m(p, 5) < p_sk_m(p, 3));
+        assert!(p_sk_m(p, 3) < p_sk_m(p, 1));
+    }
+
+    #[test]
+    fn skewed_below_direct_at_equal_p() {
+        // At the SAME per-bank aliasing probability the 3-bank majority is
+        // always at least as good (they meet only at p = 1); the real
+        // tradeoff appears because a 3x(N/3) organization has a higher
+        // per-bank p than an N-entry table — that is what
+        // `crossover_distance` captures.
+        let b = 0.5;
+        for p in [0.01, 0.05, 0.3, 0.7, 0.9, 0.99] {
+            assert!(p_sk(p, b) < p_dm(p, b), "p={p}");
+        }
+        assert!((p_sk(1.0, b) - p_dm(1.0, b)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extreme_bias_removes_destructive_aliasing() {
+        // If every substream is biased the same way (b = 0 or 1), aliasing
+        // is never destructive in the model.
+        for p in [0.1, 0.5, 1.0] {
+            assert_eq!(p_dm(p, 0.0), 0.0);
+            assert_eq!(p_dm(p, 1.0), 0.0);
+            assert!(p_sk(p, 0.0).abs() < 1e-12);
+            assert!(p_sk(p, 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn crossover_near_n_over_10() {
+        // The paper: "P_sk is lower than P_dm … when the last-use distance
+        // D is less than approximately N/10".
+        for total in [3_072u64, 12_288, 49_152, 196_608] {
+            let d = crossover_distance(total);
+            let ratio = d as f64 / total as f64;
+            assert!(
+                (0.05..0.2).contains(&ratio),
+                "total={total}: crossover at D={d} (ratio {ratio})"
+            );
+        }
+    }
+
+    #[test]
+    fn general_formula_matches_paper_special_cases() {
+        for p in [0.0, 0.05, 0.2, 0.5, 0.8, 1.0] {
+            for b in [0.0, 0.3, 0.5, 0.72, 1.0] {
+                assert!(
+                    (p_sk_general(p, b, 3) - p_sk(p, b)).abs() < 1e-12,
+                    "m=3 p={p} b={b}: {} vs {}",
+                    p_sk_general(p, b, 3),
+                    p_sk(p, b)
+                );
+                assert!(
+                    (p_sk_general(p, b, 1) - p_dm(p, b)).abs() < 1e-12,
+                    "m=1 p={p} b={b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn general_formula_five_banks_below_three_at_small_p() {
+        for b in [0.3, 0.5, 0.7] {
+            assert!(p_sk_general(0.1, b, 5) <= p_sk_general(0.1, b, 3) + 1e-15);
+        }
+    }
+
+    #[test]
+    fn binomial_sanity() {
+        assert_eq!(binomial(5, 2), 10.0);
+        assert_eq!(binomial(3, 3), 1.0);
+        assert_eq!(binomial(7, 0), 1.0);
+    }
+}

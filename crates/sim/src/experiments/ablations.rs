@@ -1,0 +1,199 @@
+//! Ablations and extensions beyond the paper's printed figures:
+//!
+//! * **banks** — 3 vs 5 banks (section 5.1 reports "very little benefit"
+//!   without plotting it);
+//! * **update** — partial vs total update across sizes (section 5.1);
+//! * **counters** — 1-bit vs 2-bit automatons under aliasing (section 2 /
+//!   Table 2 discussion);
+//! * **hybrids** — the future-work question of section 7, realized: the
+//!   EV8-style 2bc-gskew and a McFarling gshare+bimodal hybrid against
+//!   e-gskew.
+
+use super::helpers::{bench_sweep_table, history_labels, sim_pct, size_labels};
+use super::{ExperimentOpts, ExperimentOutput};
+
+const SIZES_LOG2: std::ops::RangeInclusive<u32> = 6..=14;
+
+pub(super) fn banks(opts: &ExperimentOpts) -> ExperimentOutput {
+    let ns: Vec<u32> = SIZES_LOG2.collect();
+    let labels = size_labels(*SIZES_LOG2.start(), *SIZES_LOG2.end());
+    let three = bench_sweep_table(
+        "3-bank gskew mispredict % (h=4, partial)",
+        "bank entries",
+        &labels,
+        opts,
+        |row, bench| {
+            sim_pct(
+                &format!("gskew:n={},h=4,banks=3", ns[row]),
+                bench,
+                opts.len_for(bench),
+            )
+        },
+    );
+    let five = bench_sweep_table(
+        "5-bank gskew mispredict % (h=4, partial)",
+        "bank entries",
+        &labels,
+        opts,
+        |row, bench| {
+            sim_pct(
+                &format!("gskew:n={},h=4,banks=5", ns[row]),
+                bench,
+                opts.len_for(bench),
+            )
+        },
+    );
+    ExperimentOutput {
+        id: "ablation-banks",
+        title: "Ablation — 3 vs 5 predictor banks (section 5.1: expect negligible benefit)"
+            .into(),
+        tables: vec![three, five],
+    }
+}
+
+pub(super) fn update(opts: &ExperimentOpts) -> ExperimentOutput {
+    let ns: Vec<u32> = SIZES_LOG2.collect();
+    let labels = size_labels(*SIZES_LOG2.start(), *SIZES_LOG2.end());
+    let partial = bench_sweep_table(
+        "gskew partial update mispredict % (h=4)",
+        "bank entries",
+        &labels,
+        opts,
+        |row, bench| {
+            sim_pct(
+                &format!("gskew:n={},h=4,update=partial", ns[row]),
+                bench,
+                opts.len_for(bench),
+            )
+        },
+    );
+    let total = bench_sweep_table(
+        "gskew total update mispredict % (h=4)",
+        "bank entries",
+        &labels,
+        opts,
+        |row, bench| {
+            sim_pct(
+                &format!("gskew:n={},h=4,update=total", ns[row]),
+                bench,
+                opts.len_for(bench),
+            )
+        },
+    );
+    ExperimentOutput {
+        id: "ablation-update",
+        title: "Ablation — partial vs total update (section 5.1: partial wins)".into(),
+        tables: vec![partial, total],
+    }
+}
+
+pub(super) fn counters(opts: &ExperimentOpts) -> ExperimentOutput {
+    let ns: Vec<u32> = SIZES_LOG2.collect();
+    let labels = size_labels(*SIZES_LOG2.start(), *SIZES_LOG2.end());
+    let mut tables = Vec::new();
+    for (scheme, spec_name) in [("gshare", "gshare"), ("gskew", "gskew")] {
+        for bits in [1u8, 2] {
+            tables.push(bench_sweep_table(
+                format!("{scheme} {bits}-bit counters mispredict % (h=4)"),
+                if scheme == "gshare" {
+                    "entries"
+                } else {
+                    "bank entries"
+                },
+                &labels,
+                opts,
+                |row, bench| {
+                    sim_pct(
+                        &format!("{spec_name}:n={},h=4,ctr={bits}", ns[row]),
+                        bench,
+                        opts.len_for(bench),
+                    )
+                },
+            ));
+        }
+    }
+    ExperimentOutput {
+        id: "ablation-counters",
+        title: "Ablation — 1-bit vs 2-bit automatons under aliasing".into(),
+        tables,
+    }
+}
+
+pub(super) fn hybrids(opts: &ExperimentOpts) -> ExperimentOutput {
+    let labels = history_labels(4, 16);
+    let specs: [(&str, &str); 3] = [
+        (
+            "3x4K e-gskew (24K counter bits)",
+            "egskew:n=12,h={h}",
+        ),
+        (
+            "4x4K 2bc-gskew (32K counter bits, EV8-style)",
+            "2bcgskew:n=12,h={h}",
+        ),
+        (
+            "McFarling gshare+bimodal (n=12, 24K counter bits)",
+            "mcfarling:n=12,h={h}",
+        ),
+    ];
+    let tables = specs
+        .iter()
+        .map(|(title, template)| {
+            bench_sweep_table(
+                format!("{title} mispredict % vs history length"),
+                "history bits",
+                &labels,
+                opts,
+                |row, bench| {
+                    let h = row + 4;
+                    sim_pct(
+                        &template.replace("{h}", &h.to_string()),
+                        bench,
+                        opts.len_for(bench),
+                    )
+                },
+            )
+        })
+        .collect();
+    ExperimentOutput {
+        id: "ext-hybrid",
+        title: "Extension — hybrid predictors (section 7 future work realized)".into(),
+        tables,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExperimentOpts {
+        let mut opts = ExperimentOpts::quick();
+        opts.len_override = Some(10_000);
+        opts
+    }
+
+    #[test]
+    fn banks_shapes() {
+        let out = banks(&tiny());
+        assert_eq!(out.tables.len(), 2);
+        assert_eq!(out.tables[0].rows().len(), 9);
+    }
+
+    #[test]
+    fn update_shapes() {
+        let out = update(&tiny());
+        assert_eq!(out.tables.len(), 2);
+    }
+
+    #[test]
+    fn counters_shapes() {
+        let out = counters(&tiny());
+        assert_eq!(out.tables.len(), 4);
+    }
+
+    #[test]
+    fn hybrids_shapes() {
+        let out = hybrids(&tiny());
+        assert_eq!(out.tables.len(), 3);
+        assert_eq!(out.tables[0].rows().len(), 13);
+    }
+}

@@ -1,0 +1,71 @@
+//! Figure 12: the enhanced skewed predictor across history lengths —
+//! 3x4K e-gskew vs 3x4K gskew vs 32K gshare, partial update.
+//!
+//! Expected shape: the two skewed curves coincide at short histories and
+//! diverge at long ones (e-gskew better); the 3x4K e-gskew rivals the 32K
+//! gshare at less than half the storage.
+
+use super::helpers::{bench_sweep_table, history_labels, sim_pct};
+use super::{ExperimentOpts, ExperimentOutput};
+
+const MAX_HISTORY: u32 = 16;
+
+pub(super) fn run(opts: &ExperimentOpts) -> ExperimentOutput {
+    let labels = history_labels(0, MAX_HISTORY);
+    let egskew = bench_sweep_table(
+        "3x4K enhanced gskew mispredict % vs history length",
+        "history bits",
+        &labels,
+        opts,
+        |row, bench| sim_pct(&format!("egskew:n=12,h={row}"), bench, opts.len_for(bench)),
+    );
+    let gskew = bench_sweep_table(
+        "3x4K gskew mispredict % vs history length",
+        "history bits",
+        &labels,
+        opts,
+        |row, bench| sim_pct(&format!("gskew:n=12,h={row}"), bench, opts.len_for(bench)),
+    );
+    let gshare = bench_sweep_table(
+        "32K gshare mispredict % vs history length",
+        "history bits",
+        &labels,
+        opts,
+        |row, bench| sim_pct(&format!("gshare:n=15,h={row}"), bench, opts.len_for(bench)),
+    );
+    ExperimentOutput {
+        id: "fig12",
+        title: "Figure 12 — enhanced gskew vs gskew vs 32K gshare across history lengths"
+            .into(),
+        tables: vec![egskew, gskew, gshare],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpred_trace::workload::IbsBenchmark;
+
+    #[test]
+    fn egskew_at_least_matches_gskew_at_long_history() {
+        // Section 6's claim: the curves coincide at short history and
+        // e-gskew wins at long history (capacity pressure on banks 1-2).
+        let bench = IbsBenchmark::RealGcc;
+        let len = 150_000;
+        let e = sim_pct("egskew:n=10,h=14", bench, len);
+        let g = sim_pct("gskew:n=10,h=14", bench, len);
+        assert!(
+            e <= g + 0.2,
+            "egskew {e} should not lose to gskew {g} at long history"
+        );
+    }
+
+    #[test]
+    fn output_shape() {
+        let mut opts = ExperimentOpts::quick();
+        opts.len_override = Some(15_000);
+        let out = run(&opts);
+        assert_eq!(out.tables.len(), 3);
+        assert_eq!(out.tables[0].rows().len(), 17);
+    }
+}

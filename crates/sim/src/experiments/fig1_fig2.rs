@@ -1,0 +1,151 @@
+//! Figures 1 and 2: miss percentages in tables tagged with
+//! `(address, history)` pairs, for 4-bit (fig 1) and 12-bit (fig 2)
+//! histories.
+//!
+//! Three structures are referenced in lock step per table size:
+//! direct-mapped with the *gshare* index, direct-mapped with the
+//! *gselect* index, and fully-associative LRU. The FA curve is
+//! compulsory + capacity aliasing; DM minus FA is conflict aliasing.
+
+use super::helpers::stream;
+use super::{ExperimentOpts, ExperimentOutput};
+use crate::report::{pct, Table};
+use crate::runner::parallel_map;
+use bpred_aliasing::cursor::PairCursor;
+use bpred_aliasing::fully_assoc::TaggedFullyAssociative;
+use bpred_aliasing::tagged::TaggedDirectMapped;
+use bpred_core::index::IndexFunction;
+use bpred_trace::record::BranchKind;
+use bpred_trace::workload::IbsBenchmark;
+
+const SIZES_LOG2: std::ops::RangeInclusive<u32> = 6..=18;
+
+#[derive(Debug, Clone, Copy)]
+struct Cell {
+    gshare: f64,
+    gselect: f64,
+    fully_assoc: f64,
+    /// Capacity aliasing alone: FA misses minus compulsory (first-use)
+    /// misses.
+    capacity: f64,
+}
+
+fn measure(bench: IbsBenchmark, entries_log2: u32, history_bits: u32, len: u64) -> Cell {
+    let mut cursor = PairCursor::new(history_bits);
+    let mut dm_gshare = TaggedDirectMapped::new(entries_log2, IndexFunction::Gshare);
+    let mut dm_gselect = TaggedDirectMapped::new(entries_log2, IndexFunction::Gselect);
+    let mut fa = TaggedFullyAssociative::new(1 << entries_log2);
+    for record in stream(bench, len) {
+        if record.kind == BranchKind::Conditional {
+            let v = cursor.vector(record.pc);
+            dm_gshare.access(&v);
+            dm_gselect.access(&v);
+            fa.access(v.pair());
+        }
+        cursor.advance(&record);
+    }
+    let n = fa.accesses().max(1) as f64;
+    Cell {
+        gshare: 100.0 * dm_gshare.miss_ratio(),
+        gselect: 100.0 * dm_gselect.miss_ratio(),
+        fully_assoc: 100.0 * fa.miss_ratio(),
+        capacity: 100.0 * fa.capacity_misses() as f64 / n,
+    }
+}
+
+pub(super) fn run(opts: &ExperimentOpts, history_bits: u32, id: &'static str) -> ExperimentOutput {
+    let sizes: Vec<u32> = SIZES_LOG2.collect();
+    let tasks: Vec<(u32, IbsBenchmark)> = sizes
+        .iter()
+        .flat_map(|&n| IbsBenchmark::all().into_iter().map(move |b| (n, b)))
+        .collect();
+    let cells = parallel_map(tasks, opts.threads, |(n, bench)| {
+        measure(bench, n, history_bits, opts.len_for(bench))
+    });
+
+    let mut columns = vec!["entries".to_string()];
+    columns.extend(IbsBenchmark::all().iter().map(|b| b.name().to_string()));
+    let mut tables: Vec<Table> = [
+        format!("Miss % — direct-mapped, gshare index ({history_bits}-bit history)"),
+        format!("Miss % — direct-mapped, gselect index ({history_bits}-bit history)"),
+        format!("Miss % — fully-associative LRU ({history_bits}-bit history)"),
+        format!("Conflict aliasing % — gshare DM minus FA ({history_bits}-bit history)"),
+        format!("Capacity aliasing % — FA minus compulsory ({history_bits}-bit history)"),
+    ]
+    .into_iter()
+    .map(|title| Table::new(title, columns.clone()))
+    .collect();
+
+    let per_row = IbsBenchmark::all().len();
+    for (i, &n) in sizes.iter().enumerate() {
+        let row_cells = &cells[i * per_row..(i + 1) * per_row];
+        let label = (1u64 << n).to_string();
+        tables[0].push_row(
+            std::iter::once(label.clone())
+                .chain(row_cells.iter().map(|c| pct(c.gshare)))
+                .collect(),
+        );
+        tables[1].push_row(
+            std::iter::once(label.clone())
+                .chain(row_cells.iter().map(|c| pct(c.gselect)))
+                .collect(),
+        );
+        tables[2].push_row(
+            std::iter::once(label.clone())
+                .chain(row_cells.iter().map(|c| pct(c.fully_assoc)))
+                .collect(),
+        );
+        tables[3].push_row(
+            std::iter::once(label.clone())
+                .chain(
+                    row_cells
+                        .iter()
+                        .map(|c| pct((c.gshare - c.fully_assoc).max(0.0))),
+                )
+                .collect(),
+        );
+        tables[4].push_row(
+            std::iter::once(label)
+                .chain(row_cells.iter().map(|c| pct(c.capacity)))
+                .collect(),
+        );
+    }
+
+    ExperimentOutput {
+        id,
+        title: format!(
+            "Figure {} — miss percentages in (address, history)-tagged tables, \
+             {history_bits}-bit history",
+            if history_bits == 4 { 1 } else { 2 }
+        ),
+        tables,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fa_not_worse_than_dm_and_shrinks_with_size() {
+        let len = 60_000;
+        let small = measure(IbsBenchmark::Groff, 7, 4, len);
+        let large = measure(IbsBenchmark::Groff, 12, 4, len);
+        assert!(small.fully_assoc <= small.gshare + 0.5);
+        assert!(large.fully_assoc < small.fully_assoc);
+        assert!(large.gshare < small.gshare);
+    }
+
+    #[test]
+    fn conflict_dominates_capacity_at_large_sizes() {
+        // The headline of figure 1: by 4K entries capacity aliasing nearly
+        // vanishes (compulsory aside) and conflicts dominate what remains.
+        let c = measure(IbsBenchmark::Gs, 12, 4, 200_000);
+        let conflict = (c.gshare - c.fully_assoc).max(0.0);
+        assert!(
+            conflict > c.capacity,
+            "conflict {conflict} <= capacity {}",
+            c.capacity
+        );
+    }
+}

@@ -1,0 +1,90 @@
+//! Figure 8: 3N-entry gskew (partial and total update) vs an N-entry
+//! fully-associative LRU predictor, 4-bit history, 2-bit counters.
+//!
+//! Misses of the fully-associative table fall back to a static
+//! *always taken* prediction and are charged normally (the paper's setup).
+//! The paper's conclusion: gskew with partial update slightly beats the
+//! FA-LRU table; with total update it is slightly worse.
+
+use super::helpers::{bench_sweep_table, sim_pct, size_labels};
+use super::{ExperimentOpts, ExperimentOutput};
+
+const N_LOG2: std::ops::RangeInclusive<u32> = 6..=14;
+
+pub(super) fn run(opts: &ExperimentOpts) -> ExperimentOutput {
+    let ns: Vec<u32> = N_LOG2.collect();
+    let labels = size_labels(*N_LOG2.start(), *N_LOG2.end());
+    let falru = bench_sweep_table(
+        "N-entry fully-associative LRU mispredict % (miss => always taken)",
+        "N",
+        &labels,
+        opts,
+        |row, bench| {
+            sim_pct(
+                &format!("falru:cap={},h=4", 1u64 << ns[row]),
+                bench,
+                opts.len_for(bench),
+            )
+        },
+    );
+    let partial = bench_sweep_table(
+        "3xN gskew mispredict % (partial update)",
+        "N",
+        &labels,
+        opts,
+        |row, bench| {
+            sim_pct(
+                &format!("gskew:n={},h=4,update=partial", ns[row]),
+                bench,
+                opts.len_for(bench),
+            )
+        },
+    );
+    let total = bench_sweep_table(
+        "3xN gskew mispredict % (total update)",
+        "N",
+        &labels,
+        opts,
+        |row, bench| {
+            sim_pct(
+                &format!("gskew:n={},h=4,update=total", ns[row]),
+                bench,
+                opts.len_for(bench),
+            )
+        },
+    );
+    ExperimentOutput {
+        id: "fig8",
+        title: "Figure 8 — 3N-entry gskew vs N-entry fully-associative LRU, 4-bit history"
+            .into(),
+        tables: vec![falru, partial, total],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpred_trace::workload::IbsBenchmark;
+
+    #[test]
+    fn partial_update_beats_total_update() {
+        // Section 5.1's consistent finding.
+        let bench = IbsBenchmark::Gs;
+        let len = 120_000;
+        let partial = sim_pct("gskew:n=9,h=4,update=partial", bench, len);
+        let total = sim_pct("gskew:n=9,h=4,update=total", bench, len);
+        assert!(
+            partial <= total + 0.05,
+            "partial {partial} should not lose to total {total}"
+        );
+    }
+
+    #[test]
+    fn output_shape() {
+        let mut opts = ExperimentOpts::quick();
+        opts.len_override = Some(15_000);
+        let out = run(&opts);
+        assert_eq!(out.tables.len(), 3);
+        assert_eq!(out.tables[0].rows().len(), 9);
+    }
+}

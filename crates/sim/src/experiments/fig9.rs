@@ -1,0 +1,76 @@
+//! Figures 9 and 10: the analytical destructive-aliasing curves at the
+//! worst-case bias `b = 1/2` — `P_dm = p/2` (linear) against the 3-bank
+//! polynomial. Figure 10 is the small-`p` zoom where the skewed curve
+//! hugs zero.
+
+use super::{ExperimentOpts, ExperimentOutput};
+use crate::report::Table;
+use bpred_model::curves::destructive_aliasing_curve;
+use bpred_model::skew::crossover_distance;
+
+const POINTS: usize = 21;
+
+pub(super) fn run(_opts: &ExperimentOpts, p_max: f64, id: &'static str) -> ExperimentOutput {
+    let mut table = Table::with_columns(
+        format!("Destructive-aliasing probability, b = 0.5, p in [0, {p_max}]"),
+        &["p", "P_dm (1 bank)", "P_sk (3 banks)"],
+    );
+    for point in destructive_aliasing_curve(p_max, POINTS) {
+        table.push_row(vec![
+            format!("{:.3}", point.p),
+            format!("{:.5}", point.direct_mapped),
+            format!("{:.5}", point.skewed),
+        ]);
+    }
+
+    // The derived headline of section 5.2: where a 3x(N/3) skewed
+    // organization stops beating an N-entry direct-mapped table.
+    let mut crossover = Table::with_columns(
+        "Crossover last-use distance for 3x(N/3) gskew vs N-entry DM",
+        &["N (total entries)", "crossover D", "D / N"],
+    );
+    for n in [3 * 1024u64, 3 * 4096, 3 * 16384, 3 * 65536] {
+        let d = crossover_distance(n);
+        crossover.push_row(vec![
+            n.to_string(),
+            d.to_string(),
+            format!("{:.3}", d as f64 / n as f64),
+        ]);
+    }
+
+    ExperimentOutput {
+        id,
+        title: if p_max >= 1.0 {
+            "Figure 9 — analytical destructive aliasing (full range)".into()
+        } else {
+            "Figure 10 — analytical destructive aliasing (zoom on small p)".into()
+        },
+        tables: vec![table, crossover],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_figures_render() {
+        let opts = ExperimentOpts::quick();
+        let f9 = run(&opts, 1.0, "fig9");
+        let f10 = run(&opts, 0.2, "fig10");
+        assert_eq!(f9.tables[0].rows().len(), POINTS);
+        assert_eq!(f10.tables[0].rows().len(), POINTS);
+        // Zoomed x-range stays below 0.2.
+        let last = &f10.tables[0].rows()[POINTS - 1][0];
+        assert_eq!(last, "0.200");
+    }
+
+    #[test]
+    fn crossover_ratios_near_tenth() {
+        let out = run(&ExperimentOpts::quick(), 1.0, "fig9");
+        for row in out.tables[1].rows() {
+            let ratio: f64 = row[2].parse().unwrap();
+            assert!((0.05..0.2).contains(&ratio), "ratio {ratio}");
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Shared plumbing for the experiment modules.
+
+use super::ExperimentOpts;
+use crate::engine::{self, NovelPolicy};
+use crate::report::{pct, Table};
+use crate::runner::parallel_map;
+use bpred_core::spec::parse_spec;
+use bpred_trace::record::BranchRecord;
+use bpred_trace::stream::TraceSourceExt;
+use bpred_trace::workload::IbsBenchmark;
+
+/// The benchmark record stream bounded to `len` conditional branches.
+pub fn stream(bench: IbsBenchmark, len: u64) -> impl Iterator<Item = BranchRecord> {
+    bench.spec().build().take_conditionals(len)
+}
+
+/// Simulate a predictor spec over one benchmark and return the
+/// misprediction percentage (novel references counted normally).
+///
+/// # Panics
+///
+/// Panics on an invalid predictor spec — experiment code owns its specs.
+pub fn sim_pct(spec: &str, bench: IbsBenchmark, len: u64) -> f64 {
+    sim_pct_with(spec, bench, len, NovelPolicy::Count)
+}
+
+/// [`sim_pct`] with an explicit novel-reference policy.
+pub fn sim_pct_with(spec: &str, bench: IbsBenchmark, len: u64, policy: NovelPolicy) -> f64 {
+    let mut predictor = parse_spec(spec).unwrap_or_else(|e| panic!("bad spec `{spec}`: {e}"));
+    engine::run_with(&mut predictor, stream(bench, len), policy).mispredict_pct()
+}
+
+/// Build a benchmark-per-column table by evaluating `cell` for every
+/// `(row, benchmark)` pair in parallel. `cell` returns a percentage.
+pub fn bench_sweep_table(
+    title: impl Into<String>,
+    first_column: &str,
+    row_labels: &[String],
+    opts: &ExperimentOpts,
+    cell: impl Fn(usize, IbsBenchmark) -> f64 + Sync,
+) -> Table {
+    let mut columns = vec![first_column.to_string()];
+    columns.extend(IbsBenchmark::all().iter().map(|b| b.name().to_string()));
+    let mut table = Table::new(title, columns);
+
+    let tasks: Vec<(usize, IbsBenchmark)> = (0..row_labels.len())
+        .flat_map(|row| IbsBenchmark::all().into_iter().map(move |b| (row, b)))
+        .collect();
+    let cells = parallel_map(tasks, opts.threads, |(row, bench)| cell(row, bench));
+
+    let per_row = IbsBenchmark::all().len();
+    for (row, label) in row_labels.iter().enumerate() {
+        let mut cells_for_row = vec![label.clone()];
+        cells_for_row.extend(
+            cells[row * per_row..(row + 1) * per_row]
+                .iter()
+                .map(|&v| pct(v)),
+        );
+        table.push_row(cells_for_row);
+    }
+    table
+}
+
+/// Power-of-two size labels `2^lo ..= 2^hi`.
+pub fn size_labels(lo: u32, hi: u32) -> Vec<String> {
+    (lo..=hi).map(|n| format!("{}", 1u64 << n)).collect()
+}
+
+/// History-length labels `lo ..= hi`.
+pub fn history_labels(lo: u32, hi: u32) -> Vec<String> {
+    (lo..=hi).map(|h| h.to_string()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(size_labels(4, 6), vec!["16", "32", "64"]);
+        assert_eq!(history_labels(0, 2), vec!["0", "1", "2"]);
+    }
+
+    #[test]
+    fn sim_pct_runs_a_tiny_workload() {
+        let p = sim_pct("gshare:n=10,h=4", IbsBenchmark::Verilog, 5_000);
+        assert!((0.0..=100.0).contains(&p));
+        assert!(p > 0.0, "some mispredictions expected");
+    }
+
+    #[test]
+    fn sweep_table_shape() {
+        let opts = ExperimentOpts::quick();
+        let rows = vec!["a".to_string(), "b".to_string()];
+        let t = bench_sweep_table("t", "x", &rows, &opts, |row, _| row as f64);
+        assert_eq!(t.rows().len(), 2);
+        assert_eq!(t.columns().len(), 7);
+        assert_eq!(t.rows()[1][1], "1.00");
+    }
+}

@@ -1,0 +1,46 @@
+//! # bpred-sim — simulation engine and experiment harness
+//!
+//! Drives any [`bpred_core`] predictor over any [`bpred_trace`] workload
+//! and regenerates every table and figure of the paper:
+//!
+//! * [`engine`] — the trace-driven predict/update loop and misprediction
+//!   accounting (including the paper's exclusion of compulsory references
+//!   for the unaliased predictor), plus warmup, windowed-phase and
+//!   delayed-update modes.
+//! * [`duel`] — lockstep two-predictor comparison with a McNemar paired
+//!   significance test.
+//! * [`experiments`] — the registry of reproducible experiments (`table1`,
+//!   `table2`, `fig1` … `fig12`, ablations and extensions), each emitting
+//!   renderable tables.
+//! * [`report`] — aligned-text and CSV table rendering.
+//! * [`runner`] — order-preserving parallel sweeps.
+//!
+//! ```
+//! use bpred_sim::engine;
+//! use bpred_core::prelude::*;
+//! use bpred_trace::prelude::*;
+//!
+//! let mut predictor = Gskew::standard(10, 6)?;
+//! let trace = IbsBenchmark::Verilog.spec().build().take_conditionals(10_000);
+//! let result = engine::run(&mut predictor, trace);
+//! assert!(result.mispredict_pct() < 50.0);
+//! # Ok::<(), bpred_core::error::ConfigError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod duel;
+pub mod engine;
+pub mod experiments;
+pub mod report;
+pub mod runner;
+
+/// Convenient re-exports of the most commonly used items.
+pub mod prelude {
+    pub use crate::duel::{duel, DuelResult};
+    pub use crate::engine::{run, run_with, NovelPolicy, RunResult};
+    pub use crate::experiments::{ExperimentOpts, ExperimentOutput, ALL_IDS};
+    pub use crate::report::Table;
+    pub use crate::runner::parallel_map;
+}

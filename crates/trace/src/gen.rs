@@ -1,0 +1,480 @@
+//! Random synthetic-program generation.
+//!
+//! [`ProgramParams::generate`] builds a [`Program`] with the structure of a
+//! real application: a dispatcher loop that selects *routines* with
+//! Zipf-distributed frequencies (hot and cold code), routines made of
+//! conditional blocks with forward skips and backward loop edges, and
+//! occasional calls between routines. The behaviour of each branch site is
+//! drawn from a [`BehaviorMix`].
+
+use crate::behavior::Behavior;
+use crate::program::{Block, BlockId, Program, Terminator};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::ops::RangeInclusive;
+
+/// Relative weights of the branch-site behaviour classes and their
+/// parameter ranges. Weights need not sum to 1; they are normalized.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BehaviorMix {
+    /// Weight of loop backward branches.
+    pub loops: f64,
+    /// Weight of strongly biased branches (taken probability near 0 or 1).
+    pub strong_bias: f64,
+    /// Weight of weakly biased branches — the irreducible-misprediction
+    /// sites.
+    pub weak_bias: f64,
+    /// Weight of history-correlated branches.
+    pub correlated: f64,
+    /// Weight of deterministic periodic patterns.
+    pub pattern: f64,
+    /// Correlation depth range for correlated sites (in history bits).
+    pub correlated_depth: RangeInclusive<u32>,
+    /// Trip-count range for loop sites.
+    pub loop_trip: RangeInclusive<u32>,
+    /// Noise probability on correlated sites.
+    pub correlated_noise: f64,
+    /// Taken-probability band for weakly biased sites (mirrored around
+    /// 0.5: a site is taken-biased or not-taken-biased with equal
+    /// probability).
+    pub weak_bias_band: RangeInclusive<f64>,
+}
+
+impl Default for BehaviorMix {
+    fn default() -> Self {
+        BehaviorMix {
+            loops: 0.30,
+            strong_bias: 0.45,
+            weak_bias: 0.05,
+            correlated: 0.16,
+            pattern: 0.04,
+            correlated_depth: 2..=12,
+            loop_trip: 3..=40,
+            correlated_noise: 0.006,
+            weak_bias_band: 0.75..=0.92,
+        }
+    }
+}
+
+impl BehaviorMix {
+    /// Draw one site behaviour.
+    pub fn sample(&self, rng: &mut SmallRng) -> Behavior {
+        let total =
+            self.loops + self.strong_bias + self.weak_bias + self.correlated + self.pattern;
+        debug_assert!(total > 0.0, "behaviour mix must have positive weight");
+        let mut x = rng.gen_range(0.0..total);
+        if x < self.loops {
+            // Log-uniform trip counts: short loops are more common.
+            let lo = (*self.loop_trip.start()).max(1) as f64;
+            let hi = (*self.loop_trip.end()).max(2) as f64;
+            let trip = (lo * (hi / lo).powf(rng.gen_range(0.0..1.0))).round() as u32;
+            return Behavior::Loop { trip: trip.max(1) };
+        }
+        x -= self.loops;
+        if x < self.strong_bias {
+            let p = rng.gen_range(0.995..0.9998);
+            let taken_prob = if rng.gen_bool(0.6) { p } else { 1.0 - p };
+            return Behavior::Bias { taken_prob };
+        }
+        x -= self.strong_bias;
+        if x < self.weak_bias {
+            let p = rng.gen_range(self.weak_bias_band.clone());
+            let taken_prob = if rng.gen_bool(0.5) { p } else { 1.0 - p };
+            return Behavior::Bias { taken_prob };
+        }
+        x -= self.weak_bias;
+        if x < self.correlated {
+            let depth = rng.gen_range(self.correlated_depth.clone()).max(1);
+            // 1-3 participating history bits inside the depth window, with
+            // the deepest bit always set so the depth is effective.
+            let mut mask = 1u64 << (depth - 1);
+            for _ in 0..rng.gen_range(0..3u32) {
+                mask |= 1u64 << rng.gen_range(0..depth);
+            }
+            return Behavior::HistoryParity {
+                mask,
+                depth,
+                flip_prob: self.correlated_noise,
+            };
+        }
+        let len = rng.gen_range(2..=6u8);
+        Behavior::Pattern {
+            bits: rng.gen::<u64>(),
+            len,
+        }
+    }
+}
+
+/// Parameters of a generated program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgramParams {
+    /// Base address of the program's code.
+    pub base_pc: u64,
+    /// Approximate number of static conditional branch sites to generate.
+    pub target_conditionals: usize,
+    /// Number of routines (excluding the dispatcher).
+    pub routines: usize,
+    /// Behaviour mix for branch sites.
+    pub mix: BehaviorMix,
+    /// Zipf exponent for routine selection frequency (0 = uniform).
+    pub zipf_exponent: f64,
+    /// Expected number of call sites per routine. Kept below 1 so the
+    /// average call fan-out does not explode the walk's cost per
+    /// dispatcher cycle (each callee is itself a full routine).
+    pub calls_per_routine: f64,
+    /// Fraction of routine blocks that are unconditional jumps. Real
+    /// instruction traces are one quarter to one third unconditional
+    /// transfers; because unconditional branches shift constant 1s into
+    /// the global history (as in the paper), they dilute per-branch
+    /// history diversity and are essential to realistic substream ratios.
+    pub jump_fraction: f64,
+}
+
+impl Default for ProgramParams {
+    fn default() -> Self {
+        ProgramParams {
+            base_pc: 0x0040_0000,
+            target_conditionals: 4000,
+            routines: 48,
+            mix: BehaviorMix::default(),
+            zipf_exponent: 1.0,
+            calls_per_routine: 0.4,
+            jump_fraction: 0.34,
+        }
+    }
+}
+
+impl ProgramParams {
+    /// Generate the program deterministically from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `routines` is 0 or `target_conditionals` is smaller than
+    /// `routines` (each routine needs at least one conditional block).
+    pub fn generate(&self, seed: u64) -> Program {
+        assert!(self.routines > 0, "need at least one routine");
+        assert!(
+            self.target_conditionals >= self.routines,
+            "target_conditionals must be at least the routine count"
+        );
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut blocks: Vec<Block> = Vec::new();
+        let mut pc = self.base_pc;
+        // Instruction gap between branch sites: 1..8 words.
+        fn next_pc(pc: &mut u64, rng: &mut SmallRng) -> u64 {
+            *pc += 4 * rng.gen_range(1..=8u64);
+            *pc
+        }
+
+        // ----- Dispatcher -----------------------------------------------
+        // Block ids 0..R-1 are the selection chain; for each routine i,
+        // block R+2i calls it and block R+2i+1 is a repeat loop that
+        // re-calls it a few times before returning to the chain — working
+        // phases, the locality real dispatch loops exhibit.
+        let r = self.routines;
+        let dispatch_base: BlockId = 0;
+        let call_base: BlockId = r;
+        let call_block = |i: usize| call_base + 2 * i;
+        let repeat_block = |i: usize| call_base + 2 * i + 1;
+        let mut routine_entries: Vec<BlockId> = Vec::with_capacity(r);
+
+        // Zipf selection probabilities: routine i is picked at chain
+        // position i with probability w_i / sum_{j >= i} w_j.
+        let weights: Vec<f64> = (0..r)
+            .map(|i| 1.0 / ((i + 1) as f64).powf(self.zipf_exponent))
+            .collect();
+        let mut suffix: Vec<f64> = weights.clone();
+        for i in (0..r.saturating_sub(1)).rev() {
+            suffix[i] += suffix[i + 1];
+        }
+
+        for i in 0..r {
+            let terminator = if i + 1 == r {
+                // Last chain position selects unconditionally.
+                Terminator::Jump {
+                    target: call_block(i),
+                }
+            } else {
+                Terminator::Branch {
+                    behavior: Behavior::Bias {
+                        taken_prob: weights[i] / suffix[i],
+                    },
+                    taken: call_block(i),
+                    fallthrough: dispatch_base + i + 1,
+                }
+            };
+            blocks.push(Block {
+                pc: next_pc(&mut pc, &mut rng),
+                terminator,
+            });
+        }
+        for i in 0..r {
+            blocks.push(Block {
+                pc: next_pc(&mut pc, &mut rng),
+                // Callee id patched once routine entries are known.
+                terminator: Terminator::Call {
+                    callee: 0,
+                    return_to: repeat_block(i),
+                },
+            });
+            blocks.push(Block {
+                pc: next_pc(&mut pc, &mut rng),
+                terminator: Terminator::Branch {
+                    behavior: Behavior::Loop {
+                        trip: rng.gen_range(2..=8),
+                    },
+                    taken: call_block(i),
+                    fallthrough: dispatch_base,
+                },
+            });
+        }
+
+        // ----- Routines --------------------------------------------------
+        // Conditional blocks per routine, sized so the total approximates
+        // target_conditionals (the dispatcher chain contributes r - 1, and
+        // a jump_fraction of the body blocks is unconditional).
+        let chain_conditionals = r - 1;
+        let body_target = self.target_conditionals.saturating_sub(chain_conditionals);
+        let mean_body =
+            (body_target as f64 / r as f64 / (1.0 - self.jump_fraction).max(0.05)).max(1.0);
+
+        for routine in 0..r {
+            let body = ((mean_body * rng.gen_range(0.5..1.5)).round() as usize).max(1);
+            let entry = blocks.len();
+            routine_entries.push(entry);
+            // Routine-local code sits in its own page-ish region.
+            pc = self.base_pc + 0x4000 * (routine as u64 + 1);
+
+            // Block ids entry .. entry+body (last one is the Return).
+            // Loop backedges never reach behind `loop_fence`, so loops are
+            // sequential rather than nested — nesting would multiply trip
+            // counts and trap the walk inside a single routine.
+            let mut loop_fence = entry;
+            let call_prob = (self.calls_per_routine / body as f64).clamp(0.0, 1.0);
+            for j in 0..body {
+                let here = entry + j;
+                let next = here + 1;
+                let last = entry + body; // the Return block
+                let is_call = rng.gen_bool(call_prob) && routine + 1 < r;
+                let terminator = if is_call {
+                    // Call a (usually colder) later routine; ids of later
+                    // entries are not known yet, patched below. The fence
+                    // keeps later loop backedges from re-executing the
+                    // call every iteration.
+                    loop_fence = next;
+                    Terminator::Call {
+                        callee: rng.gen_range(routine + 1..r),
+                        return_to: next,
+                    }
+                } else if rng.gen_bool(self.jump_fraction) {
+                    // Unconditional jump (if-else join, switch dispatch):
+                    // shifts a constant taken bit into the history.
+                    Terminator::Jump { target: next }
+                } else {
+                    let behavior = self.mix.sample(&mut rng);
+                    let (taken, fallthrough) = match behavior {
+                        Behavior::Loop { .. } => {
+                            // Backward edge spanning up to 6 earlier
+                            // blocks, fenced off previous loops.
+                            let span = rng.gen_range(1..=6usize).min(here - loop_fence);
+                            loop_fence = next;
+                            (here - span, next)
+                        }
+                        _ => {
+                            if rng.gen_bool(0.70) {
+                                // Paths rejoin immediately (if-then with a
+                                // straight-line body) — the common case in
+                                // real code, and what keeps every block of
+                                // a called routine executing.
+                                (next, next)
+                            } else {
+                                // Forward skip of 1..3 blocks.
+                                let skip = rng.gen_range(2..=4usize);
+                                ((here + skip).min(last), next)
+                            }
+                        }
+                    };
+                    Terminator::Branch {
+                        behavior,
+                        taken,
+                        fallthrough,
+                    }
+                };
+                blocks.push(Block {
+                    pc: next_pc(&mut pc, &mut rng),
+                    terminator,
+                });
+            }
+            blocks.push(Block {
+                pc: next_pc(&mut pc, &mut rng),
+                terminator: Terminator::Return,
+            });
+        }
+
+        // Patch call targets now that routine entries are known.
+        for block in &mut blocks {
+            if let Terminator::Call { callee, .. } = &mut block.terminator {
+                *callee = routine_entries[(*callee).min(r - 1)];
+            }
+        }
+        // Dispatcher call blocks: call block i -> routine i.
+        for (i, entry) in routine_entries.iter().enumerate() {
+            blocks[call_block(i)].terminator = Terminator::Call {
+                callee: *entry,
+                return_to: repeat_block(i),
+            };
+        }
+
+        Program::new(blocks, dispatch_base).expect("generator emits well-formed programs")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::BranchKind;
+    use crate::program::Walker;
+    use std::collections::HashSet;
+
+    #[test]
+    fn generated_program_validates() {
+        let p = ProgramParams::default().generate(1);
+        assert!(p.static_conditionals() > 0);
+    }
+
+    #[test]
+    fn static_count_near_target() {
+        for target in [500usize, 4000, 12000] {
+            let params = ProgramParams {
+                target_conditionals: target,
+                ..ProgramParams::default()
+            };
+            let p = params.generate(7);
+            let got = p.static_conditionals();
+            let lo = target * 7 / 10;
+            let hi = target * 13 / 10;
+            assert!(
+                (lo..=hi).contains(&got),
+                "target {target}, got {got} (outside ±30%)"
+            );
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let params = ProgramParams::default();
+        assert_eq!(params.generate(3), params.generate(3));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let params = ProgramParams::default();
+        assert_ne!(params.generate(3), params.generate(4));
+    }
+
+    #[test]
+    fn walk_visits_many_routines_and_sites() {
+        let p = ProgramParams {
+            target_conditionals: 2000,
+            routines: 30,
+            ..ProgramParams::default()
+        }
+        .generate(11);
+        let mut pcs = HashSet::new();
+        let mut conditionals = 0u64;
+        for rec in Walker::new(p, 5).take(200_000) {
+            if rec.kind == BranchKind::Conditional {
+                conditionals += 1;
+                pcs.insert(rec.pc);
+            }
+        }
+        assert!(conditionals > 100_000, "mostly conditional branches");
+        assert!(
+            pcs.len() > 300,
+            "walk should touch many static sites, got {}",
+            pcs.len()
+        );
+    }
+
+    #[test]
+    fn hot_routines_dominate() {
+        // With a Zipf dispatcher the most frequent static branch should be
+        // executed far more often than the median one.
+        let p = ProgramParams::default().generate(2);
+        let mut counts: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+        for rec in Walker::new(p, 9).take(300_000) {
+            if rec.kind == BranchKind::Conditional {
+                *counts.entry(rec.pc).or_default() += 1;
+            }
+        }
+        let mut freq: Vec<u64> = counts.values().copied().collect();
+        freq.sort_unstable_by(|a, b| b.cmp(a));
+        let top = freq[0];
+        let median = freq[freq.len() / 2];
+        assert!(
+            top > median * 10,
+            "expected skewed frequencies, top={top} median={median}"
+        );
+    }
+
+    #[test]
+    fn mix_sampling_honors_zero_weights() {
+        let mix = BehaviorMix {
+            loops: 0.0,
+            strong_bias: 0.0,
+            weak_bias: 1.0,
+            correlated: 0.0,
+            pattern: 0.0,
+            ..BehaviorMix::default()
+        };
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..100 {
+            match mix.sample(&mut rng) {
+                Behavior::Bias { taken_prob } => {
+                    let band = mix.weak_bias_band.clone();
+                    let p = taken_prob.min(1.0 - taken_prob);
+                    assert!(
+                        band.contains(&taken_prob) || band.contains(&(1.0 - taken_prob)),
+                        "p={p}"
+                    );
+                }
+                other => panic!("unexpected behaviour {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn correlated_mask_respects_depth() {
+        let mix = BehaviorMix {
+            loops: 0.0,
+            strong_bias: 0.0,
+            weak_bias: 0.0,
+            correlated: 1.0,
+            pattern: 0.0,
+            correlated_depth: 3..=9,
+            ..BehaviorMix::default()
+        };
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..100 {
+            match mix.sample(&mut rng) {
+                Behavior::HistoryParity { mask, depth, .. } => {
+                    assert!((3..=9).contains(&depth));
+                    assert!(mask != 0);
+                    assert_eq!(mask >> depth, 0, "mask exceeds depth");
+                    assert!(mask >> (depth - 1) & 1 == 1, "deepest bit set");
+                }
+                other => panic!("unexpected behaviour {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one routine")]
+    fn zero_routines_panics() {
+        ProgramParams {
+            routines: 0,
+            ..ProgramParams::default()
+        }
+        .generate(1);
+    }
+}

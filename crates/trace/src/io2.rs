@@ -1,0 +1,274 @@
+//! The compact `BPT2` trace format: delta- and varint-encoded records.
+//!
+//! The flat [`crate::io`] format spends 9 bytes per record; real traces
+//! have enormous pc locality, so `BPT2` encodes each record as
+//!
+//! ```text
+//! header  "BPT2" + varint record count
+//! record  flags byte: bit0 taken, bit1 kernel, bits2-3 kind,
+//!                     bit4 pc-delta sign
+//!         varint |pc - prev_pc| (bytes, zig-zag free since sign is in flags)
+//! ```
+//!
+//! On the synthetic workloads this is ~2.2 bytes per record — a 4x
+//! saving — while remaining a forward-only stream (see
+//! [`CompactReader`]).
+
+use crate::record::{BranchKind, BranchRecord, Privilege};
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 4] = b"BPT2";
+
+fn write_varint<W: Write>(writer: &mut W, mut value: u64) -> io::Result<()> {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            return writer.write_all(&[byte]);
+        }
+        writer.write_all(&[byte | 0x80])?;
+    }
+}
+
+fn read_varint<R: Read>(reader: &mut R) -> io::Result<u64> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let mut byte = [0u8; 1];
+        reader.read_exact(&mut byte)?;
+        if shift >= 64 {
+            return Err(invalid("varint overflows u64"));
+        }
+        value |= u64::from(byte[0] & 0x7f) << shift;
+        if byte[0] & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+    }
+}
+
+/// Write a trace in the compact `BPT2` format; returns the record count.
+///
+/// Buffers the records to know the count up front, like
+/// [`crate::io::write_binary`].
+///
+/// # Errors
+///
+/// Propagates I/O errors from `writer`.
+pub fn write_compact<W: Write>(
+    mut writer: W,
+    records: impl Iterator<Item = BranchRecord>,
+) -> io::Result<u64> {
+    let records: Vec<BranchRecord> = records.collect();
+    writer.write_all(MAGIC)?;
+    write_varint(&mut writer, records.len() as u64)?;
+    let mut prev_pc = 0u64;
+    for r in &records {
+        let (delta, negative) = if r.pc >= prev_pc {
+            (r.pc - prev_pc, false)
+        } else {
+            (prev_pc - r.pc, true)
+        };
+        let flags = u8::from(r.taken)
+            | (u8::from(r.privilege == Privilege::Kernel) << 1)
+            | (r.kind.code() << 2)
+            | (u8::from(negative) << 4);
+        writer.write_all(&[flags])?;
+        write_varint(&mut writer, delta)?;
+        prev_pc = r.pc;
+    }
+    Ok(records.len() as u64)
+}
+
+/// Read a compact `BPT2` trace fully into memory.
+///
+/// # Errors
+///
+/// Returns [`io::ErrorKind::InvalidData`] on a bad magic or malformed
+/// stream.
+pub fn read_compact<R: Read>(reader: R) -> io::Result<Vec<BranchRecord>> {
+    CompactReader::new(reader)?.collect()
+}
+
+/// Streaming reader over a `BPT2` trace.
+#[derive(Debug)]
+pub struct CompactReader<R> {
+    reader: R,
+    remaining: u64,
+    prev_pc: u64,
+    failed: bool,
+}
+
+impl<R: Read> CompactReader<R> {
+    /// Validate the header and prepare to stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`io::ErrorKind::InvalidData`] on a bad magic.
+    pub fn new(mut reader: R) -> io::Result<Self> {
+        let mut magic = [0u8; 4];
+        reader.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(invalid("bad magic, not a BPT2 trace"));
+        }
+        let remaining = read_varint(&mut reader)?;
+        Ok(CompactReader {
+            reader,
+            remaining,
+            prev_pc: 0,
+            failed: false,
+        })
+    }
+
+    /// Records left to read.
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+}
+
+impl<R: Read> Iterator for CompactReader<R> {
+    type Item = io::Result<BranchRecord>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed || self.remaining == 0 {
+            return None;
+        }
+        let result = (|| {
+            let mut flags = [0u8; 1];
+            self.reader.read_exact(&mut flags)?;
+            let flags = flags[0];
+            let delta = read_varint(&mut self.reader)?;
+            let kind = BranchKind::from_code((flags >> 2) & 0b11)
+                .ok_or_else(|| invalid("bad branch kind code"))?;
+            let pc = if flags & 0b1_0000 != 0 {
+                self.prev_pc.wrapping_sub(delta)
+            } else {
+                self.prev_pc.wrapping_add(delta)
+            };
+            self.prev_pc = pc;
+            Ok(BranchRecord {
+                pc,
+                kind,
+                taken: flags & 1 == 1,
+                privilege: if flags & 0b10 != 0 {
+                    Privilege::Kernel
+                } else {
+                    Privilege::User
+                },
+            })
+        })();
+        match result {
+            Ok(record) => {
+                self.remaining -= 1;
+                Some(Ok(record))
+            }
+            Err(e) => {
+                self.failed = true;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+fn invalid(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::write_binary;
+    use crate::stream::TraceSourceExt;
+    use crate::workload::IbsBenchmark;
+
+    fn sample() -> Vec<BranchRecord> {
+        vec![
+            BranchRecord::conditional(0x0040_1000, true),
+            BranchRecord::conditional(0x0040_1010, false),
+            BranchRecord::unconditional(0x0040_0f00), // backward delta
+            BranchRecord {
+                pc: 0x8000_0100,
+                kind: BranchKind::Call,
+                taken: true,
+                privilege: Privilege::Kernel,
+            },
+            BranchRecord {
+                pc: 0x8000_0200,
+                kind: BranchKind::Return,
+                taken: true,
+                privilege: Privilege::Kernel,
+            },
+        ]
+    }
+
+    #[test]
+    fn varint_roundtrip() {
+        for value in [0u64, 1, 127, 128, 300, 0xFFFF, u64::MAX] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, value).unwrap();
+            assert_eq!(read_varint(&mut buf.as_slice()).unwrap(), value);
+        }
+    }
+
+    #[test]
+    fn compact_roundtrip() {
+        let mut buf = Vec::new();
+        let n = write_compact(&mut buf, sample().into_iter()).unwrap();
+        assert_eq!(n, 5);
+        assert_eq!(read_compact(buf.as_slice()).unwrap(), sample());
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let mut buf = Vec::new();
+        write_compact(&mut buf, std::iter::empty()).unwrap();
+        assert!(read_compact(buf.as_slice()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        assert!(read_compact(&b"BPT1\0\0\0\0"[..]).is_err());
+    }
+
+    #[test]
+    fn truncation_surfaces_an_error() {
+        let mut buf = Vec::new();
+        write_compact(&mut buf, sample().into_iter()).unwrap();
+        buf.truncate(buf.len() - 1);
+        let results: Vec<_> = CompactReader::new(buf.as_slice()).unwrap().collect();
+        assert!(results.last().unwrap().is_err());
+    }
+
+    #[test]
+    fn workload_roundtrips_and_compresses() {
+        let records: Vec<_> = IbsBenchmark::Gs
+            .spec()
+            .build()
+            .take_conditionals(20_000)
+            .collect();
+        let mut compact = Vec::new();
+        write_compact(&mut compact, records.iter().copied()).unwrap();
+        assert_eq!(read_compact(compact.as_slice()).unwrap(), records);
+
+        let mut flat = Vec::new();
+        write_binary(&mut flat, records.iter().copied()).unwrap();
+        assert!(
+            compact.len() * 2 < flat.len(),
+            "BPT2 {} bytes should be well under half of BPT1 {} bytes",
+            compact.len(),
+            flat.len()
+        );
+    }
+
+    #[test]
+    fn streaming_matches_bulk() {
+        let mut buf = Vec::new();
+        write_compact(&mut buf, sample().into_iter()).unwrap();
+        let mut reader = CompactReader::new(buf.as_slice()).unwrap();
+        assert_eq!(reader.remaining(), 5);
+        let streamed: Vec<BranchRecord> =
+            reader.by_ref().collect::<io::Result<_>>().unwrap();
+        assert_eq!(streamed, sample());
+        assert_eq!(reader.remaining(), 0);
+    }
+}

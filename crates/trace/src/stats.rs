@@ -1,0 +1,111 @@
+//! Trace statistics: the numbers behind Table 1 and the workload sanity
+//! checks.
+
+use crate::record::{BranchKind, BranchRecord, Privilege};
+use std::collections::HashMap;
+
+/// Aggregate statistics of a branch trace.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceStats {
+    /// Dynamic conditional branch count (Table 1, "dynamic").
+    pub dynamic_conditional: u64,
+    /// Distinct conditional branch addresses (Table 1, "static").
+    pub static_conditional: u64,
+    /// Dynamic non-conditional control transfers.
+    pub dynamic_unconditional: u64,
+    /// Dynamic conditional branches that were taken.
+    pub taken_conditional: u64,
+    /// Dynamic records executed in kernel mode.
+    pub kernel_records: u64,
+    /// Total records.
+    pub total_records: u64,
+}
+
+impl TraceStats {
+    /// Compute statistics over a record stream, consuming it.
+    pub fn collect(source: impl Iterator<Item = BranchRecord>) -> TraceStats {
+        let mut stats = TraceStats::default();
+        let mut static_pcs: HashMap<u64, ()> = HashMap::new();
+        for r in source {
+            stats.total_records += 1;
+            if r.privilege == Privilege::Kernel {
+                stats.kernel_records += 1;
+            }
+            if r.kind == BranchKind::Conditional {
+                stats.dynamic_conditional += 1;
+                stats.taken_conditional += u64::from(r.taken);
+                static_pcs.entry(r.pc).or_insert(());
+            } else {
+                stats.dynamic_unconditional += 1;
+            }
+        }
+        stats.static_conditional = static_pcs.len() as u64;
+        stats
+    }
+
+    /// Fraction of dynamic conditional branches that were taken.
+    pub fn taken_ratio(&self) -> f64 {
+        ratio(self.taken_conditional, self.dynamic_conditional)
+    }
+
+    /// Fraction of all records executed in kernel mode.
+    pub fn kernel_ratio(&self) -> f64 {
+        ratio(self.kernel_records, self.total_records)
+    }
+
+    /// Average executions per static conditional branch.
+    pub fn dynamic_per_static(&self) -> f64 {
+        ratio(self.dynamic_conditional, self.static_conditional)
+    }
+}
+
+#[inline]
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<BranchRecord> {
+        vec![
+            BranchRecord::conditional(0x100, true),
+            BranchRecord::conditional(0x100, false),
+            BranchRecord::conditional(0x200, true),
+            BranchRecord::unconditional(0x300),
+            BranchRecord::conditional(0x400, true).in_kernel(),
+        ]
+    }
+
+    #[test]
+    fn counts() {
+        let s = TraceStats::collect(sample().into_iter());
+        assert_eq!(s.dynamic_conditional, 4);
+        assert_eq!(s.static_conditional, 3);
+        assert_eq!(s.dynamic_unconditional, 1);
+        assert_eq!(s.taken_conditional, 3);
+        assert_eq!(s.kernel_records, 1);
+        assert_eq!(s.total_records, 5);
+    }
+
+    #[test]
+    fn ratios() {
+        let s = TraceStats::collect(sample().into_iter());
+        assert!((s.taken_ratio() - 0.75).abs() < 1e-12);
+        assert!((s.kernel_ratio() - 0.2).abs() < 1e-12);
+        assert!((s.dynamic_per_static() - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace_is_all_zero() {
+        let s = TraceStats::collect(std::iter::empty());
+        assert_eq!(s, TraceStats::default());
+        assert_eq!(s.taken_ratio(), 0.0);
+        assert_eq!(s.dynamic_per_static(), 0.0);
+    }
+}

@@ -1,0 +1,52 @@
+//! Compare every predictor family in the crate across the six IBS-like
+//! workloads at roughly comparable storage budgets (~24-32 Kbit).
+//!
+//! ```text
+//! cargo run --release --example compare_predictors [branches-per-workload]
+//! ```
+
+use gskew::core::spec::parse_spec;
+use gskew::sim::engine;
+use gskew::sim::runner::parallel_map;
+use gskew::trace::prelude::*;
+
+fn main() {
+    let len: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(300_000);
+
+    // Spec, at a roughly equal storage point (see storage column).
+    let specs = [
+        "always-taken",
+        "bimodal:n=14",
+        "gselect:n=14,h=8",
+        "gshare:n=14,h=8",
+        "gskew:n=12,h=8,update=total",
+        "gskew:n=12,h=8",
+        "egskew:n=12,h=11",
+        "mcfarling:n=12,h=10",
+        "2bcgskew:n=12,h=12",
+    ];
+
+    println!("{len} conditional branches per workload\n");
+    print!("{:<34} {:>9}", "predictor", "bits");
+    for b in IbsBenchmark::all() {
+        print!(" {:>9}", b.name());
+    }
+    println!(" {:>9}", "mean");
+
+    for spec in specs {
+        let results = parallel_map(IbsBenchmark::all().to_vec(), 6, |bench| {
+            let mut p = parse_spec(spec).expect("spec is valid");
+            engine::run(&mut p, bench.spec().build().take_conditionals(len)).mispredict_pct()
+        });
+        let p = parse_spec(spec).expect("spec is valid");
+        print!("{:<34} {:>9}", p.name(), p.storage_bits());
+        for r in &results {
+            print!(" {:>8.2}%", r);
+        }
+        let mean = results.iter().sum::<f64>() / results.len() as f64;
+        println!(" {:>8.2}%", mean);
+    }
+}

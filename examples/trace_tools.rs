@@ -1,0 +1,89 @@
+//! Trace tooling tour: generate a workload, write it in all three file
+//! formats, stream it back, filter it, and compare sizes — the round trip
+//! a user would take to exchange traces with another simulator.
+//!
+//! ```text
+//! cargo run --release --example trace_tools [branches]
+//! ```
+
+use gskew::trace::io::{read_text, write_binary, write_text, BinaryReader};
+use gskew::trace::io2::{write_compact, CompactReader};
+use gskew::trace::prelude::*;
+use gskew::trace::record::Privilege;
+use std::io;
+
+fn main() -> io::Result<()> {
+    let len: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(50_000);
+
+    let records: Vec<BranchRecord> = IbsBenchmark::MpegPlay
+        .spec()
+        .build()
+        .take_conditionals(len)
+        .collect();
+    let stats = TraceStats::collect(records.iter().copied());
+    println!(
+        "generated {} records ({} conditional, {} static sites, {:.1}% kernel)\n",
+        stats.total_records,
+        stats.dynamic_conditional,
+        stats.static_conditional,
+        100.0 * stats.kernel_ratio()
+    );
+
+    // --- all three formats, in memory ----------------------------------
+    let mut flat = Vec::new();
+    write_binary(&mut flat, records.iter().copied())?;
+    let mut compact = Vec::new();
+    write_compact(&mut compact, records.iter().copied())?;
+    let mut text = Vec::new();
+    write_text(&mut text, records.iter().copied())?;
+    println!("format sizes for {} records:", records.len());
+    println!(
+        "  BPT1 (flat)    {:>9} bytes  ({:.2} B/record)",
+        flat.len(),
+        flat.len() as f64 / records.len() as f64
+    );
+    println!(
+        "  BPT2 (compact) {:>9} bytes  ({:.2} B/record)",
+        compact.len(),
+        compact.len() as f64 / records.len() as f64
+    );
+    println!(
+        "  text           {:>9} bytes  ({:.2} B/record)",
+        text.len(),
+        text.len() as f64 / records.len() as f64
+    );
+
+    // --- streaming readers return the identical stream ------------------
+    let from_flat: Vec<BranchRecord> =
+        BinaryReader::new(flat.as_slice())?.collect::<io::Result<_>>()?;
+    let from_compact: Vec<BranchRecord> =
+        CompactReader::new(compact.as_slice())?.collect::<io::Result<_>>()?;
+    let from_text = read_text(text.as_slice())?;
+    assert_eq!(from_flat, records);
+    assert_eq!(from_compact, records);
+    assert_eq!(from_text, records);
+    println!("\nall three formats round-trip identically");
+
+    // --- stream adapters -------------------------------------------------
+    let user_only = records
+        .iter()
+        .copied()
+        .privilege_only(Privilege::User)
+        .count();
+    let relocated: Vec<BranchRecord> = records
+        .iter()
+        .copied()
+        .relocate(0x1000_0000)
+        .take(1)
+        .collect();
+    println!(
+        "user-only view: {user_only}/{} records; first pc relocated {:#x} -> {:#x}",
+        records.len(),
+        records[0].pc,
+        relocated[0].pc
+    );
+    Ok(())
+}

@@ -1,0 +1,85 @@
+//! # gskew — a reproduction of the ISCA'97 skewed branch predictor paper
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`core`] ([`bpred_core`]) — the predictors: gskew, enhanced gskew,
+//!   gshare, gselect, bimodal, tagged associative tables, hybrids.
+//! * [`trace`] ([`bpred_trace`]) — branch traces and the synthetic
+//!   IBS-like workload generator.
+//! * [`aliasing`] ([`bpred_aliasing`]) — the three-Cs aliasing
+//!   classification machinery.
+//! * [`model`] ([`bpred_model`]) — the paper's analytical model.
+//! * [`sim`] ([`bpred_sim`]) — the simulation engine and the experiment
+//!   harness reproducing every table and figure.
+//!
+//! See the repository `README.md` for a tour, `DESIGN.md` for the system
+//! inventory, `EXPERIMENTS.md` for paper-vs-measured results, and
+//! `docs/paper-map.md` for a section-by-section paper → code index.
+//!
+//! ## A three-minute tour
+//!
+//! Build any predictor, by constructor or spec string:
+//!
+//! ```
+//! use gskew::core::prelude::*;
+//!
+//! let by_hand = Gskew::standard(12, 8)?;                 // 3x4K, h=8, partial
+//! let by_spec = parse_spec("egskew:n=12,h=11")?;         // enhanced variant
+//! assert_eq!(by_hand.storage_bits(), by_spec.storage_bits());
+//! # Ok::<(), gskew::core::error::ConfigError>(())
+//! ```
+//!
+//! Drive it over a synthetic IBS-like workload:
+//!
+//! ```
+//! use gskew::core::prelude::*;
+//! use gskew::sim::engine;
+//! use gskew::trace::prelude::*;
+//!
+//! let mut p = Gskew::standard(10, 6)?;
+//! let result = engine::run(
+//!     &mut p,
+//!     IbsBenchmark::Verilog.spec().build().take_conditionals(20_000),
+//! );
+//! assert!(result.mispredict_pct() < 25.0);
+//! # Ok::<(), gskew::core::error::ConfigError>(())
+//! ```
+//!
+//! Classify its aliasing into the paper's three Cs:
+//!
+//! ```
+//! use gskew::aliasing::three_c::ThreeCClassifier;
+//! use gskew::core::index::IndexFunction;
+//! use gskew::trace::prelude::*;
+//!
+//! let breakdown = ThreeCClassifier::new(10, 4, IndexFunction::Gshare)
+//!     .run(IbsBenchmark::Groff.spec().build().take_conditionals(20_000));
+//! assert!(breakdown.total >= breakdown.fully_associative - 0.02);
+//! ```
+//!
+//! And ask the analytical model where skewing pays:
+//!
+//! ```
+//! use gskew::model::skew::crossover_distance;
+//!
+//! let n = 3 * 4096;
+//! let d_star = crossover_distance(n as u64);
+//! assert!((d_star as f64 / n as f64 - 0.105).abs() < 0.01); // ~ N/10
+//! ```
+//!
+//! ```
+//! use gskew::core::prelude::*;
+//!
+//! let mut p = Gskew::standard(12, 8)?;
+//! let _ = p.predict(0x4000_0000);
+//! p.update(0x4000_0000, Outcome::Taken);
+//! # Ok::<(), gskew::core::error::ConfigError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use bpred_aliasing as aliasing;
+pub use bpred_core as core;
+pub use bpred_model as model;
+pub use bpred_sim as sim;
+pub use bpred_trace as trace;

@@ -1,0 +1,76 @@
+//! Smoke-run every registered experiment in quick mode and validate the
+//! structure of its output: tables exist, rows are populated, and the
+//! numeric cells parse as finite percentages.
+
+use gskew::sim::experiments::{self, ExperimentOpts, ALL_IDS};
+
+fn tiny_opts() -> ExperimentOpts {
+    ExperimentOpts {
+        len_override: Some(8_000),
+        quick: true,
+        ..ExperimentOpts::default()
+    }
+}
+
+#[test]
+fn every_experiment_runs_and_renders() {
+    let opts = tiny_opts();
+    for &id in ALL_IDS {
+        let output =
+            experiments::run(id, &opts).unwrap_or_else(|| panic!("experiment {id} missing"));
+        assert_eq!(output.id, id);
+        assert!(!output.tables.is_empty(), "{id}: no tables");
+        for table in &output.tables {
+            assert!(!table.rows().is_empty(), "{id}: empty table {}", table.title());
+            assert!(table.columns().len() >= 2, "{id}: degenerate table");
+        }
+        let rendered = output.render();
+        assert!(rendered.contains(id), "{id}: render lacks id header");
+    }
+}
+
+#[test]
+fn numeric_cells_are_finite_percentages() {
+    let opts = tiny_opts();
+    // The benchmark-sweep experiments: every non-label cell must be a
+    // finite number in [0, 100].
+    for id in ["fig5", "fig7", "fig8", "fig12", "ablation-update"] {
+        let output = experiments::run(id, &opts).unwrap();
+        for table in &output.tables {
+            for row in table.rows() {
+                for cell in &row[1..] {
+                    let v: f64 = cell
+                        .parse()
+                        .unwrap_or_else(|_| panic!("{id}: non-numeric cell `{cell}`"));
+                    assert!(
+                        v.is_finite() && (0.0..=100.0).contains(&v),
+                        "{id}: out-of-range cell {v}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn csv_rendering_is_parseable() {
+    let output = experiments::run("table1", &tiny_opts()).unwrap();
+    let csv = output.tables[0].to_csv();
+    let lines: Vec<&str> = csv.lines().collect();
+    assert_eq!(lines.len(), 7, "header + six benchmarks");
+    let header_fields = lines[0].split(',').count();
+    for line in &lines[1..] {
+        assert_eq!(line.split(',').count(), header_fields, "ragged CSV: {line}");
+    }
+}
+
+#[test]
+fn experiment_output_is_deterministic() {
+    let opts = tiny_opts();
+    let a = experiments::run("fig3", &opts).unwrap().render();
+    let b = experiments::run("fig3", &opts).unwrap().render();
+    assert_eq!(a, b);
+    let a = experiments::run("table2", &opts).unwrap().render();
+    let b = experiments::run("table2", &opts).unwrap().render();
+    assert_eq!(a, b);
+}

@@ -1,0 +1,78 @@
+//! Golden-output tests: the purely analytical experiments are exactly
+//! deterministic, so their rendered rows are pinned verbatim. If a change
+//! moves these, it changed the model — that must be deliberate.
+
+use gskew::model::curves::destructive_aliasing_curve;
+use gskew::model::prob::aliasing_probability;
+use gskew::model::skew::{crossover_distance, p_dm, p_sk};
+use gskew::sim::experiments::{self, ExperimentOpts};
+
+#[test]
+fn figure9_key_points_are_pinned() {
+    // Known closed-form values at b = 1/2:
+    // P_dm(p) = p/2; P_sk(p) = (3/4)p^2(1-p) + (1/2)p^3.
+    let cases = [
+        (0.1, 0.05, 0.00725),
+        (0.2, 0.10, 0.02800),
+        (0.5, 0.25, 0.15625),
+        (1.0, 0.50, 0.50000),
+    ];
+    for (p, dm, sk) in cases {
+        assert!((p_dm(p, 0.5) - dm).abs() < 1e-12, "P_dm({p})");
+        assert!((p_sk(p, 0.5) - sk).abs() < 1e-12, "P_sk({p})");
+    }
+}
+
+#[test]
+fn crossover_table_is_pinned() {
+    // D*/N = 0.105 at every table size (the paper's "approximately N/10").
+    assert_eq!(crossover_distance(3 * 1024), 323);
+    assert_eq!(crossover_distance(3 * 4096), 1291);
+    assert_eq!(crossover_distance(3 * 16384), 5163);
+    assert_eq!(crossover_distance(3 * 65536), 20650);
+}
+
+#[test]
+fn aliasing_probability_known_values() {
+    // 1 - (1 - 1/N)^D at hand-checkable points.
+    assert!((aliasing_probability(1, 2) - 0.5).abs() < 1e-12);
+    assert!((aliasing_probability(2, 2) - 0.75).abs() < 1e-12);
+    assert!((aliasing_probability(1, 4) - 0.25).abs() < 1e-12);
+}
+
+#[test]
+fn fig9_render_is_stable() {
+    let out = experiments::run("fig9", &ExperimentOpts::quick()).expect("fig9 exists");
+    let rendered = out.render();
+    // Spot-pin header and two rows (full numeric table is checked above).
+    assert!(rendered.contains("0.050  0.02500        0.00184"), "{rendered}");
+    assert!(rendered.contains("1.000  0.50000        0.50000"), "{rendered}");
+    assert!(rendered.contains("196608             20650        0.105"), "{rendered}");
+    // Byte-for-byte deterministic.
+    let again = experiments::run("fig9", &ExperimentOpts::quick())
+        .expect("fig9 exists")
+        .render();
+    assert_eq!(rendered, again);
+}
+
+#[test]
+fn fig3_demo_is_pinned() {
+    let out = experiments::run("fig3", &ExperimentOpts::quick()).expect("fig3 exists");
+    let rendered = out.render();
+    assert!(
+        rendered.contains("(a=0011, h=0101)  (a=1100, h=1010)  (a=1011, h=1101)"),
+        "gshare conflict group changed:\n{rendered}"
+    );
+    assert!(
+        rendered.contains("(a=0011, h=0101)  (a=1011, h=0101)"),
+        "gselect conflict group changed:\n{rendered}"
+    );
+}
+
+#[test]
+fn curve_series_matches_formulas_pointwise() {
+    for point in destructive_aliasing_curve(1.0, 41) {
+        assert!((point.direct_mapped - p_dm(point.p, 0.5)).abs() < 1e-12);
+        assert!((point.skewed - p_sk(point.p, 0.5)).abs() < 1e-12);
+    }
+}

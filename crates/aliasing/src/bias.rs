@@ -34,7 +34,10 @@ impl BiasStats {
         if record.kind == BranchKind::Conditional {
             self.dynamic += 1;
             self.dynamic_taken += u64::from(record.taken);
-            let entry = self.tallies.entry(self.cursor.pair(record.pc)).or_insert((0, 0));
+            let entry = self
+                .tallies
+                .entry(self.cursor.pair(record.pc))
+                .or_insert((0, 0));
             entry.0 += u64::from(record.taken);
             entry.1 += 1;
         }

@@ -198,10 +198,7 @@ mod tests {
         // Zipf-skewed workloads concentrate conflicts: the 20 worst pairs
         // should carry a visible share of all inter-branch aliasing.
         let share = analysis.concentration(20);
-        assert!(
-            share > 0.05,
-            "top-20 share {share} suspiciously flat"
-        );
+        assert!(share > 0.05, "top-20 share {share} suspiciously flat");
         // And the report is sorted.
         let top = analysis.top(20);
         for w in top.windows(2) {
@@ -211,8 +208,7 @@ mod tests {
 
     #[test]
     fn empty_stream() {
-        let analysis =
-            OffenderAnalysis::new(4, 4, IndexFunction::Gshare).run(std::iter::empty());
+        let analysis = OffenderAnalysis::new(4, 4, IndexFunction::Gshare).run(std::iter::empty());
         assert_eq!(analysis.total_aliasing(), 0);
         assert!(analysis.top(5).is_empty());
         assert_eq!(analysis.concentration(5), 0.0);

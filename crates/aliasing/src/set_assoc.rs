@@ -181,11 +181,7 @@ mod tests {
                 IndexFunction::Gshare,
             );
             let mut cursor = PairCursor::new(4);
-            for r in IbsBenchmark::Groff
-                .spec()
-                .build()
-                .take_conditionals(60_000)
-            {
+            for r in IbsBenchmark::Groff.spec().build().take_conditionals(60_000) {
                 if r.kind == BranchKind::Conditional {
                     sa.access(&cursor.vector(r.pc));
                 }

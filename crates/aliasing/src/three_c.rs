@@ -17,11 +17,14 @@ pub struct AliasingBreakdown {
     pub total: f64,
     /// Compulsory component (first reference of each pair).
     pub compulsory: f64,
-    /// Capacity component (fully-associative LRU misses minus compulsory).
+    /// Capacity component (fully-associative LRU misses minus compulsory;
+    /// never negative, since every cold miss is also an LRU miss).
     pub capacity: f64,
     /// Conflict component (direct-mapped misses minus fully-associative
-    /// misses; clamped at zero in the rare case LRU loses to direct
-    /// mapping).
+    /// misses). Slightly negative when LRU — which is not an optimal
+    /// replacement policy — happens to lose to direct mapping; reporting
+    /// the signed value keeps `compulsory + capacity + conflict == total`
+    /// exact, which consumers rely on.
     pub conflict: f64,
     /// Fully-associative miss ratio (compulsory + capacity), as plotted in
     /// figures 1 and 2.
@@ -81,8 +84,8 @@ impl ThreeCClassifier {
             references: n,
             total,
             compulsory,
-            capacity: (fa - compulsory).max(0.0),
-            conflict: (total - fa).max(0.0),
+            capacity: fa - compulsory,
+            conflict: total - fa,
             fully_associative: fa,
         }
     }
@@ -124,18 +127,15 @@ mod tests {
     #[test]
     fn components_sum_to_total() {
         // The three components telescope back to the direct-mapped miss
-        // ratio, except that `conflict` is clamped at zero when LRU
-        // (which is not an optimal policy) happens to lose to direct
-        // mapping — so the sum may exceed the total by that sliver.
+        // ratio exactly: conflict is reported signed (it can dip below
+        // zero when LRU loses to direct mapping), so no clamp sliver can
+        // break the identity.
         let records: Vec<_> = IbsBenchmark::Verilog.spec().build().take(50_000).collect();
         for n in [6u32, 8, 10] {
             let b = classify(n, 4, &records);
             let sum = b.compulsory + b.capacity + b.conflict;
-            assert!(
-                sum >= b.total - 1e-9 && sum <= b.total + 0.01,
-                "n={n}: {sum} vs {}",
-                b.total
-            );
+            assert!((sum - b.total).abs() <= 1e-9, "n={n}: {sum} vs {}", b.total);
+            assert!(b.capacity >= 0.0, "capacity can never be negative");
         }
     }
 
@@ -175,10 +175,10 @@ mod tests {
         // The paper's observation: with 12 bits of history, gselect keeps
         // very few address bits and aliases much more.
         let records: Vec<_> = IbsBenchmark::RealGcc.spec().build().take(150_000).collect();
-        let gshare = ThreeCClassifier::new(10, 12, IndexFunction::Gshare)
-            .run(records.iter().copied());
-        let gselect = ThreeCClassifier::new(10, 12, IndexFunction::Gselect)
-            .run(records.iter().copied());
+        let gshare =
+            ThreeCClassifier::new(10, 12, IndexFunction::Gshare).run(records.iter().copied());
+        let gselect =
+            ThreeCClassifier::new(10, 12, IndexFunction::Gselect).run(records.iter().copied());
         assert!(
             gselect.total > gshare.total,
             "gselect {} <= gshare {}",

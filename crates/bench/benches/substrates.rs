@@ -121,7 +121,12 @@ fn duel_and_offenders(c: &mut Criterion) {
         b.iter(|| {
             let mut p1 = parse_spec("gshare:n=12,h=8").expect("valid spec");
             let mut p2 = parse_spec("gskew:n=12,h=8").expect("valid spec");
-            duel(&mut p1, &mut p2, records.iter().copied(), NovelPolicy::Count)
+            duel(
+                &mut p1,
+                &mut p2,
+                records.iter().copied(),
+                NovelPolicy::Count,
+            )
         });
     });
     group.bench_function("offender-analysis", |b| {

@@ -21,8 +21,7 @@ fn table_benches(c: &mut Criterion) {
     for id in ["table1", "table2"] {
         group.bench_function(id, |b| {
             b.iter(|| {
-                let output =
-                    experiments::run(id, &quick_opts()).expect("experiment id exists");
+                let output = experiments::run(id, &quick_opts()).expect("experiment id exists");
                 assert!(!output.tables.is_empty());
                 output
             });

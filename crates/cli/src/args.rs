@@ -14,8 +14,9 @@ pub struct Args {
 
 /// Option names that take a value; everything else starting with `--` is
 /// a boolean flag.
-const VALUED: &[&str] =
-    &["len", "threads", "bench", "pred", "out", "format", "file", "history", "windows"];
+const VALUED: &[&str] = &[
+    "len", "threads", "bench", "pred", "out", "format", "file", "history", "windows",
+];
 
 impl Args {
     /// Parse raw arguments (excluding the program name).

@@ -17,6 +17,7 @@ use args::Args;
 use bpred_core::spec::parse_spec;
 use bpred_sim::engine;
 use bpred_sim::experiments::{self, ExperimentOpts};
+use bpred_trace::cache as trace_cache;
 use bpred_trace::io as trace_io;
 use bpred_trace::io2 as trace_io2;
 use bpred_trace::stats::TraceStats;
@@ -38,6 +39,12 @@ USAGE:
   bpsim sweep --pred <spec with {h}> [--bench <name>] [--len N]
   bpsim trace gen --bench <name> --len N --out FILE [--format bin|text|compact]
   bpsim trace info --file FILE [--format bin|text|compact]
+
+Global options:
+  --no-trace-cache   regenerate workload streams on every use instead of
+                     memoizing materialized traces (streaming memory profile)
+  --verbose          print a trace-cache summary (hits/misses/resident bytes)
+                     after the command
 
 Predictor specs:
   gshare:n=14,h=12 | gselect:n=12,h=6 | bimodal:n=14
@@ -62,7 +69,12 @@ fn main() -> ExitCode {
 
 fn dispatch(raw: Vec<String>) -> Result<(), String> {
     let args = Args::parse(raw)?;
-    match args.positional(0) {
+    if args.flag("no-trace-cache") {
+        // Process-global and single-threaded here: `main` is the only
+        // caller that may flip the cache switch.
+        trace_cache::set_enabled(false);
+    }
+    let result = match args.positional(0) {
         None | Some("help") => {
             print!("{USAGE}");
             Ok(())
@@ -75,7 +87,29 @@ fn dispatch(raw: Vec<String>) -> Result<(), String> {
         Some("sweep") => cmd_sweep(&args),
         Some("trace") => cmd_trace(&args),
         Some(other) => Err(format!("unknown command `{other}`; try `bpsim help`")),
+    };
+    if result.is_ok() && args.flag("verbose") {
+        print_cache_summary();
     }
+    result
+}
+
+fn print_cache_summary() {
+    if !trace_cache::is_enabled() {
+        eprintln!("trace cache: disabled (--no-trace-cache); every stream regenerated");
+        return;
+    }
+    let stats = trace_cache::stats();
+    eprintln!(
+        "trace cache: {} hits / {} misses ({:.0}% hit), {} evictions, \
+         {} traces resident ({:.1} MiB)",
+        stats.hits,
+        stats.misses,
+        100.0 * stats.hit_ratio(),
+        stats.evictions,
+        stats.entries,
+        stats.resident_bytes as f64 / (1 << 20) as f64,
+    );
 }
 
 fn cmd_list() -> Result<(), String> {
@@ -136,7 +170,11 @@ fn cmd_experiment(args: &Args) -> Result<(), String> {
             let path = dir.join(format!("{id}.txt"));
             std::fs::write(&path, output.render())
                 .map_err(|e| format!("write {}: {e}", path.display()))?;
-            println!("{id}: wrote {} tables to {}", output.tables.len(), dir.display());
+            println!(
+                "{id}: wrote {} tables to {}",
+                output.tables.len(),
+                dir.display()
+            );
         } else if args.flag("csv") {
             for table in &output.tables {
                 println!("# {} — {}", output.id, table.title());
@@ -177,8 +215,9 @@ fn cmd_run(args: &Args) -> Result<(), String> {
             let mut predictor = parse_spec(spec).map_err(|e| e.to_string())?;
             let rates = engine::run_windowed(
                 &mut predictor,
-                bench.spec().build().take_conditionals(len),
+                trace_cache::stream(bench, len),
                 window,
+                engine::NovelPolicy::Count,
             );
             println!(
                 "{} — {} ({} windows of {} branches, mispredict %):",
@@ -199,7 +238,7 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     for bench in benches {
         let len = len_override.unwrap_or_else(|| bench.default_len());
         let mut predictor = parse_spec(spec).map_err(|e| e.to_string())?;
-        let result = engine::run(&mut predictor, bench.spec().build().take_conditionals(len));
+        let result = engine::run(&mut predictor, trace_cache::stream(bench, len));
         println!(
             "{:<12} {:>12} {:>12} {:>9.2}%",
             bench.name(),
@@ -229,23 +268,31 @@ fn cmd_compare(args: &Args) -> Result<(), String> {
         print!(" {:>10}", b.name());
     }
     println!(" {:>10}", "mean");
-    for spec in &specs {
-        let mut total = 0.0;
-        let mut cells = Vec::new();
-        for &bench in &benches {
-            let len = len_override.unwrap_or_else(|| bench.default_len());
-            let mut predictor = parse_spec(spec).map_err(|e| e.to_string())?;
-            let result =
-                engine::run(&mut predictor, bench.spec().build().take_conditionals(len));
-            total += result.mispredict_pct();
-            cells.push(result.mispredict_pct());
+    // One materialized trace per benchmark, every spec driven over it in
+    // a single batched pass.
+    let mut per_spec_pcts = vec![Vec::new(); specs.len()];
+    for &bench in &benches {
+        let len = len_override.unwrap_or_else(|| bench.default_len());
+        let trace = trace_cache::materialize(bench, len);
+        let mut predictors = specs
+            .iter()
+            .map(|spec| parse_spec(spec).map_err(|e| e.to_string()))
+            .collect::<Result<Vec<_>, _>>()?;
+        let results = engine::run_many(&mut predictors, &trace, engine::NovelPolicy::Count);
+        for (pcts, result) in per_spec_pcts.iter_mut().zip(results) {
+            pcts.push(result.mispredict_pct());
         }
+    }
+    for (spec, cells) in specs.iter().zip(per_spec_pcts) {
         let predictor = parse_spec(spec).map_err(|e| e.to_string())?;
         print!("{:<40} {:>9}", predictor.name(), predictor.storage_bits());
         for c in &cells {
             print!(" {:>9.2}%", c);
         }
-        println!(" {:>9.2}%", total / benches.len() as f64);
+        println!(
+            " {:>9.2}%",
+            cells.iter().sum::<f64>() / benches.len() as f64
+        );
     }
     Ok(())
 }
@@ -307,16 +354,29 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
         print!(" {:>10}", b.name());
     }
     println!();
-    for h in 0..=16u32 {
-        let spec = template.replace("{h}", &h.to_string());
-        parse_spec(&spec).map_err(|e| e.to_string())?;
+    const HISTORIES: std::ops::RangeInclusive<u32> = 0..=16;
+    // All 17 history lengths ride one pass per benchmark: materialize the
+    // trace once and drive the whole predictor column together.
+    let mut columns = Vec::new();
+    for &bench in &benches {
+        let len = len_override.unwrap_or_else(|| bench.default_len());
+        let trace = trace_cache::materialize(bench, len);
+        let mut predictors = HISTORIES
+            .map(|h| {
+                let spec = template.replace("{h}", &h.to_string());
+                parse_spec(&spec).map_err(|e| e.to_string())
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        columns.push(engine::run_many(
+            &mut predictors,
+            &trace,
+            engine::NovelPolicy::Count,
+        ));
+    }
+    for (row, h) in HISTORIES.enumerate() {
         print!("{h:<4}");
-        for &bench in &benches {
-            let len = len_override.unwrap_or_else(|| bench.default_len());
-            let mut predictor = parse_spec(&spec).map_err(|e| e.to_string())?;
-            let result =
-                engine::run(&mut predictor, bench.spec().build().take_conditionals(len));
-            print!(" {:>9.2}%", result.mispredict_pct());
+        for column in &columns {
+            print!(" {:>9.2}%", column[row].mispredict_pct());
         }
         println!();
     }
@@ -474,18 +534,8 @@ mod tests {
 
     #[test]
     fn quick_experiment_runs() {
-        dispatch(vec![
-            "experiment".into(),
-            "fig9".into(),
-            "--quick".into(),
-        ])
-        .unwrap();
-        dispatch(vec![
-            "experiment".into(),
-            "fig3".into(),
-            "--csv".into(),
-        ])
-        .unwrap();
+        dispatch(vec!["experiment".into(), "fig9".into(), "--quick".into()]).unwrap();
+        dispatch(vec!["experiment".into(), "fig3".into(), "--csv".into()]).unwrap();
     }
 
     #[test]

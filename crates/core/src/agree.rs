@@ -65,7 +65,11 @@ impl Agree {
         kind: CounterKind,
     ) -> Result<Self, ConfigError> {
         if entries_log2 == 0 || entries_log2 > 30 {
-            return Err(ConfigError::invalid("entries_log2", entries_log2, "must be in 1..=30"));
+            return Err(ConfigError::invalid(
+                "entries_log2",
+                entries_log2,
+                "must be in 1..=30",
+            ));
         }
         if bias_entries_log2 == 0 || bias_entries_log2 > 30 {
             return Err(ConfigError::invalid(
@@ -75,7 +79,11 @@ impl Agree {
             ));
         }
         if history_bits > 64 {
-            return Err(ConfigError::invalid("history_bits", history_bits, "must be at most 64"));
+            return Err(ConfigError::invalid(
+                "history_bits",
+                history_bits,
+                "must be at most 64",
+            ));
         }
         Ok(Agree {
             counters: CounterTable::new(entries_log2, kind),

@@ -90,13 +90,13 @@ impl FullyAssociative {
     ///
     /// Returns [`ConfigError`] if `capacity` is zero or `history_bits`
     /// exceeds 64.
-    pub fn new(
-        capacity: usize,
-        history_bits: u32,
-        kind: CounterKind,
-    ) -> Result<Self, ConfigError> {
+    pub fn new(capacity: usize, history_bits: u32, kind: CounterKind) -> Result<Self, ConfigError> {
         if capacity == 0 {
-            return Err(ConfigError::invalid("capacity", capacity, "must be nonzero"));
+            return Err(ConfigError::invalid(
+                "capacity",
+                capacity,
+                "must be nonzero",
+            ));
         }
         if history_bits > 64 {
             return Err(ConfigError::invalid(
@@ -301,7 +301,11 @@ impl SetAssociative {
         kind: CounterKind,
     ) -> Result<Self, ConfigError> {
         if sets_log2 == 0 || sets_log2 > 30 {
-            return Err(ConfigError::invalid("sets_log2", sets_log2, "must be in 1..=30"));
+            return Err(ConfigError::invalid(
+                "sets_log2",
+                sets_log2,
+                "must be in 1..=30",
+            ));
         }
         if ways == 0 {
             return Err(ConfigError::invalid("ways", ways, "must be nonzero"));

@@ -54,7 +54,11 @@ impl BiMode {
         kind: CounterKind,
     ) -> Result<Self, ConfigError> {
         if entries_log2 == 0 || entries_log2 > 30 {
-            return Err(ConfigError::invalid("entries_log2", entries_log2, "must be in 1..=30"));
+            return Err(ConfigError::invalid(
+                "entries_log2",
+                entries_log2,
+                "must be in 1..=30",
+            ));
         }
         if choice_entries_log2 == 0 || choice_entries_log2 > 30 {
             return Err(ConfigError::invalid(
@@ -64,7 +68,11 @@ impl BiMode {
             ));
         }
         if history_bits > 64 {
-            return Err(ConfigError::invalid("history_bits", history_bits, "must be at most 64"));
+            return Err(ConfigError::invalid(
+                "history_bits",
+                history_bits,
+                "must be at most 64",
+            ));
         }
         Ok(BiMode {
             choice: CounterTable::new(choice_entries_log2, kind),

@@ -144,8 +144,7 @@ impl SharedHysteresisGskew {
 
     #[inline]
     fn indices(&self, pc: u64) -> [u64; 3] {
-        let packed =
-            InfoVector::new(pc, self.history.value(), self.history.len()).packed();
+        let packed = InfoVector::new(pc, self.history.value(), self.history.len()).packed();
         [
             skew_index(0, packed, self.n),
             skew_index(1, packed, self.n),
@@ -162,9 +161,7 @@ impl SharedHysteresisGskew {
 impl BranchPredictor for SharedHysteresisGskew {
     fn predict(&mut self, pc: u64) -> Prediction {
         let idx = self.indices(pc);
-        let taken = (0..3)
-            .filter(|&b| self.direction[b].get(idx[b]))
-            .count();
+        let taken = (0..3).filter(|&b| self.direction[b].get(idx[b])).count();
         Prediction::of(Outcome::from(taken >= 2))
     }
 
@@ -183,8 +180,7 @@ impl BranchPredictor for SharedHysteresisGskew {
             }
             // Two adjacent direction entries share one hysteresis bit.
             let hyst_idx = idx[bank] >> 1;
-            let (dir, hyst) =
-                step(votes[bank], self.hysteresis[bank].get(hyst_idx), outcome);
+            let (dir, hyst) = step(votes[bank], self.hysteresis[bank].get(hyst_idx), outcome);
             self.direction[bank].set(idx[bank], dir);
             self.hysteresis[bank].set(hyst_idx, hyst);
         }
@@ -295,8 +291,7 @@ mod tests {
     #[test]
     fn policy_is_respected() {
         let partial = SharedHysteresisGskew::new(8, 4).unwrap();
-        let total =
-            SharedHysteresisGskew::with_policy(8, 4, UpdatePolicy::Total).unwrap();
+        let total = SharedHysteresisGskew::with_policy(8, 4, UpdatePolicy::Total).unwrap();
         assert!(partial.name().contains("partial"));
         assert!(total.name().contains("total"));
     }

@@ -57,12 +57,17 @@ mod tests {
     #[test]
     fn display_messages() {
         let e = ConfigError::invalid("n", 42, "must be at most 30");
-        assert_eq!(e.to_string(), "invalid value `42` for `n`: must be at most 30");
+        assert_eq!(
+            e.to_string(),
+            "invalid value `42` for `n`: must be at most 30"
+        );
         assert_eq!(
             ConfigError::UnknownPredictor("foo".into()).to_string(),
             "unknown predictor `foo`"
         );
-        assert!(ConfigError::Parse("x".into()).to_string().contains("malformed"));
+        assert!(ConfigError::Parse("x".into())
+            .to_string()
+            .contains("malformed"));
     }
 
     #[test]

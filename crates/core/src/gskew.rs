@@ -356,9 +356,7 @@ impl BranchPredictor for Gskew {
                     // Overall prediction good: only re-strengthen the banks
                     // that agreed; a disagreeing bank is presumed to serve
                     // another substream and is left alone.
-                    for ((bank, &idx), &vote) in
-                        self.banks.iter_mut().zip(&indices).zip(&votes)
-                    {
+                    for ((bank, &idx), &vote) in self.banks.iter_mut().zip(&indices).zip(&votes) {
                         if vote == outcome {
                             bank.train(idx, outcome);
                         }
@@ -462,7 +460,11 @@ mod tests {
         let mut distinct = 0;
         for i in 0..100u64 {
             let pc = 0x1000 + i * 4;
-            let (a, b, c) = (p.bank_index(0, pc), p.bank_index(1, pc), p.bank_index(2, pc));
+            let (a, b, c) = (
+                p.bank_index(0, pc),
+                p.bank_index(1, pc),
+                p.bank_index(2, pc),
+            );
             if a != b && b != c && a != c {
                 distinct += 1;
             }
@@ -505,7 +507,11 @@ mod tests {
         let pc = 0x3000;
         // Manually wire bank 2's entry to strongly-not-taken, banks 0 and 1
         // to strongly-taken, so overall = taken.
-        let (i0, i1, i2) = (p.bank_index(0, pc), p.bank_index(1, pc), p.bank_index(2, pc));
+        let (i0, i1, i2) = (
+            p.bank_index(0, pc),
+            p.bank_index(1, pc),
+            p.bank_index(2, pc),
+        );
         p.banks[0].set_value(i0, 3);
         p.banks[1].set_value(i1, 3);
         p.banks[2].set_value(i2, 0);
@@ -518,7 +524,11 @@ mod tests {
     fn total_update_trains_dissenting_bank() {
         let mut p = small(UpdatePolicy::Total);
         let pc = 0x3000;
-        let (i0, i1, i2) = (p.bank_index(0, pc), p.bank_index(1, pc), p.bank_index(2, pc));
+        let (i0, i1, i2) = (
+            p.bank_index(0, pc),
+            p.bank_index(1, pc),
+            p.bank_index(2, pc),
+        );
         p.banks[0].set_value(i0, 3);
         p.banks[1].set_value(i1, 3);
         p.banks[2].set_value(i2, 0);
@@ -530,7 +540,11 @@ mod tests {
     fn partial_update_trains_all_banks_on_mispredict() {
         let mut p = small(UpdatePolicy::Partial);
         let pc = 0x3000;
-        let (i0, i1, i2) = (p.bank_index(0, pc), p.bank_index(1, pc), p.bank_index(2, pc));
+        let (i0, i1, i2) = (
+            p.bank_index(0, pc),
+            p.bank_index(1, pc),
+            p.bank_index(2, pc),
+        );
         // All banks strongly not-taken; outcome taken => overall wrong.
         p.banks[0].set_value(i0, 0);
         p.banks[1].set_value(i1, 0);
@@ -581,7 +595,11 @@ mod tests {
     fn unanimity_reflects_votes() {
         let mut p = small(UpdatePolicy::Partial);
         let pc = 0x3000;
-        let (i0, i1, i2) = (p.bank_index(0, pc), p.bank_index(1, pc), p.bank_index(2, pc));
+        let (i0, i1, i2) = (
+            p.bank_index(0, pc),
+            p.bank_index(1, pc),
+            p.bank_index(2, pc),
+        );
         p.banks[0].set_value(i0, 3);
         p.banks[1].set_value(i1, 3);
         p.banks[2].set_value(i2, 3);

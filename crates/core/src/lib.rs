@@ -91,8 +91,8 @@ pub mod vector;
 pub mod prelude {
     pub use crate::agree::Agree;
     pub use crate::assoc::{FullyAssociative, SetAssociative};
-    pub use crate::bimode::BiMode;
     pub use crate::bimodal::Bimodal;
+    pub use crate::bimode::BiMode;
     pub use crate::counter::{CounterKind, CounterTable, SatCounter};
     pub use crate::distributed::SharedHysteresisGskew;
     pub use crate::error::ConfigError;

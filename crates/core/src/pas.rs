@@ -17,8 +17,8 @@
 use crate::counter::{CounterKind, CounterTable};
 use crate::error::ConfigError;
 use crate::gskew::UpdatePolicy;
-use crate::predictor::{BranchPredictor, Outcome, Prediction};
 use crate::index::IndexFunction;
+use crate::predictor::{BranchPredictor, Outcome, Prediction};
 use crate::skew::skew_index;
 use crate::vector::InfoVector;
 
@@ -69,8 +69,7 @@ impl BranchHistoryTable {
     fn push(&mut self, pc: u64, outcome: Outcome) {
         let slot = self.slot(pc);
         let mask = (1u64 << self.local_bits) - 1;
-        self.histories[slot] =
-            ((self.histories[slot] << 1) | u64::from(outcome.is_taken())) & mask;
+        self.histories[slot] = ((self.histories[slot] << 1) | u64::from(outcome.is_taken())) & mask;
     }
 
     fn storage_bits(&self) -> u64 {
@@ -118,7 +117,11 @@ impl Pas {
         kind: CounterKind,
     ) -> Result<Self, ConfigError> {
         if entries_log2 == 0 || entries_log2 > 30 {
-            return Err(ConfigError::invalid("entries_log2", entries_log2, "must be in 1..=30"));
+            return Err(ConfigError::invalid(
+                "entries_log2",
+                entries_log2,
+                "must be in 1..=30",
+            ));
         }
         Ok(Pas {
             bht: BranchHistoryTable::new(bht_entries_log2, local_bits)?,
@@ -200,7 +203,9 @@ impl SkewedPas {
         }
         Ok(SkewedPas {
             bht: BranchHistoryTable::new(bht_entries_log2, local_bits)?,
-            banks: (0..3).map(|_| CounterTable::new(bank_entries_log2, kind)).collect(),
+            banks: (0..3)
+                .map(|_| CounterTable::new(bank_entries_log2, kind))
+                .collect(),
             n: bank_entries_log2,
             policy,
         })
@@ -261,7 +266,12 @@ impl BranchPredictor for SkewedPas {
     }
 
     fn storage_bits(&self) -> u64 {
-        self.bht.storage_bits() + self.banks.iter().map(CounterTable::storage_bits).sum::<u64>()
+        self.bht.storage_bits()
+            + self
+                .banks
+                .iter()
+                .map(CounterTable::storage_bits)
+                .sum::<u64>()
     }
 
     fn reset(&mut self) {
@@ -305,8 +315,7 @@ mod tests {
 
     #[test]
     fn skewed_pas_learns_local_patterns() {
-        let mut p =
-            SkewedPas::new(8, 8, 10, CounterKind::TwoBit, UpdatePolicy::Partial).unwrap();
+        let mut p = SkewedPas::new(8, 8, 10, CounterKind::TwoBit, UpdatePolicy::Partial).unwrap();
         let miss = drive(&mut p, 0x1000, &[true, false, false, true], 60);
         assert_eq!(miss, 0.0);
     }
@@ -362,14 +371,12 @@ mod tests {
 
     #[test]
     fn reset_restores_fresh_state() {
-        let mut p =
-            SkewedPas::new(8, 6, 8, CounterKind::TwoBit, UpdatePolicy::Partial).unwrap();
+        let mut p = SkewedPas::new(8, 6, 8, CounterKind::TwoBit, UpdatePolicy::Partial).unwrap();
         for i in 0..100u64 {
             p.update(0x1000 + 4 * (i % 9), Outcome::from(i % 2 == 0));
         }
         p.reset();
-        let fresh =
-            SkewedPas::new(8, 6, 8, CounterKind::TwoBit, UpdatePolicy::Partial).unwrap();
+        let fresh = SkewedPas::new(8, 6, 8, CounterKind::TwoBit, UpdatePolicy::Partial).unwrap();
         assert_eq!(p, fresh);
     }
 
@@ -379,8 +386,6 @@ mod tests {
         assert!(Pas::new(8, 0, 12, CounterKind::TwoBit).is_err());
         assert!(Pas::new(8, 33, 12, CounterKind::TwoBit).is_err());
         assert!(Pas::new(8, 8, 0, CounterKind::TwoBit).is_err());
-        assert!(
-            SkewedPas::new(8, 8, 1, CounterKind::TwoBit, UpdatePolicy::Partial).is_err()
-        );
+        assert!(SkewedPas::new(8, 8, 1, CounterKind::TwoBit, UpdatePolicy::Partial).is_err());
     }
 }

@@ -244,12 +244,12 @@ mod tests {
         let n = 10;
         for i in 0..NUM_SKEW_FUNCTIONS {
             for j in (i + 1)..NUM_SKEW_FUNCTIONS {
-                let differs = (0..4096u64).map(|s| s.wrapping_mul(0x9E37_79B9_7F4A_7C15)).any(
-                    |v| {
+                let differs = (0..4096u64)
+                    .map(|s| s.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                    .any(|v| {
                         let v = v & ((1 << (2 * n)) - 1);
                         skew_index(i, v, n) != skew_index(j, v, n)
-                    },
-                );
+                    });
                 assert!(differs, "banks {i} and {j} compute identical functions");
             }
         }
@@ -343,7 +343,11 @@ mod tests {
             for bank in 0..NUM_SKEW_FUNCTIONS {
                 for seed in 0..64u64 {
                     let v = seed.wrapping_mul(0xD1B5_4A32_D192_ED03);
-                    let v = if n >= 30 { v & ((1 << 60) - 1) } else { v & ((1 << (2 * n)) - 1) };
+                    let v = if n >= 30 {
+                        v & ((1 << 60) - 1)
+                    } else {
+                        v & ((1 << (2 * n)) - 1)
+                    };
                     assert!(skew_index(bank, v, n) < (1 << n));
                 }
             }

@@ -59,7 +59,10 @@ impl Params {
             let (k, v) = item
                 .split_once('=')
                 .ok_or_else(|| ConfigError::Parse(format!("expected key=value, got `{item}`")))?;
-            if map.insert(k.trim().to_string(), v.trim().to_string()).is_some() {
+            if map
+                .insert(k.trim().to_string(), v.trim().to_string())
+                .is_some()
+            {
                 return Err(ConfigError::Parse(format!("duplicate key `{k}`")));
             }
         }
@@ -100,8 +103,9 @@ impl Params {
     fn update_policy(&mut self) -> Result<UpdatePolicy, ConfigError> {
         match self.map.remove("update") {
             None => Ok(UpdatePolicy::Partial),
-            Some(v) => UpdatePolicy::from_name(&v)
-                .ok_or_else(|| ConfigError::Parse(format!("`update` must be partial|total, got `{v}`"))),
+            Some(v) => UpdatePolicy::from_name(&v).ok_or_else(|| {
+                ConfigError::Parse(format!("`update` must be partial|total, got `{v}`"))
+            }),
         }
     }
 

@@ -1,0 +1,384 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access to crates.io, so this
+//! crate vendors the subset of the criterion 0.5 API the workspace's
+//! benches use: [`Criterion`], [`Criterion::benchmark_group`] with
+//! `sample_size` / `warm_up_time` / `measurement_time` / `throughput` /
+//! `bench_function` / `bench_with_input` / `finish`, [`Bencher::iter`],
+//! [`Throughput`], [`BenchmarkId`], [`black_box`], and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Statistics are deliberately simple: each benchmark warms up for the
+//! configured duration, then runs timed batches until the measurement
+//! window elapses (at least `sample_size` batches), and reports the
+//! mean, minimum, and maximum time per iteration plus derived
+//! throughput. There is no HTML report, outlier analysis, or saved
+//! baseline — this is a wall-clock harness, which is all the repo's
+//! performance acceptance checks need.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// An opaque identity function that prevents the optimizer from
+/// deleting a computation whose result is otherwise unused.
+#[inline]
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Work performed per iteration, used to report throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A parameterized benchmark identifier.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// An id made of the parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Something usable as a benchmark name: a `&str`, `String`, or
+/// [`BenchmarkId`].
+pub trait IntoBenchmarkId {
+    /// The display label for the benchmark.
+    fn into_label(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_label(self) -> String {
+        self.label
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_label(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+/// The measurement harness handed to each benchmark closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    warm_up: Duration,
+    measurement: Duration,
+    min_samples: usize,
+}
+
+impl Bencher {
+    /// Time `routine`, first warming up, then sampling until the
+    /// measurement window is spent.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: also used to size batches so that each timed sample
+        // is long enough for the clock to resolve.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up || warm_iters == 0 {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed() / warm_iters.max(1) as u32;
+        // Aim for ~1ms per sample, at least one iteration.
+        self.iters_per_sample = if per_iter.is_zero() {
+            1_000
+        } else {
+            (Duration::from_millis(1).as_nanos() / per_iter.as_nanos().max(1)).max(1) as u64
+        };
+
+        let run_start = Instant::now();
+        while self.samples.len() < self.min_samples || run_start.elapsed() < self.measurement {
+            let sample_start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            self.samples
+                .push(sample_start.elapsed() / self.iters_per_sample as u32);
+            if self.samples.len() >= self.min_samples.max(4) * 64 {
+                break; // routine is extremely fast; enough data.
+            }
+        }
+    }
+}
+
+/// A named set of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the minimum number of timed samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Set the warm-up duration before sampling starts.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Set the target measurement window.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Declare per-iteration work for throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.into_label();
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            iters_per_sample: 1,
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            min_samples: self.sample_size,
+        };
+        f(&mut bencher);
+        self.report(&label, &bencher);
+        self
+    }
+
+    /// Run one benchmark parameterized by `input`.
+    pub fn bench_with_input<I, T, F>(&mut self, id: I, input: &T, mut f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        T: ?Sized,
+        F: FnMut(&mut Bencher, &T),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// End the group. (Reporting happens as each benchmark finishes.)
+    pub fn finish(&mut self) {}
+
+    fn report(&mut self, label: &str, bencher: &Bencher) {
+        let samples = &bencher.samples;
+        if samples.is_empty() {
+            println!("{}/{label:<40} no samples", self.name);
+            return;
+        }
+        let total: Duration = samples.iter().sum();
+        let mean = total / samples.len() as u32;
+        let min = samples.iter().min().copied().unwrap_or_default();
+        let max = samples.iter().max().copied().unwrap_or_default();
+        let mut line = format!(
+            "{}/{label:<40} time: [{} {} {}]",
+            self.name,
+            fmt_duration(min),
+            fmt_duration(mean),
+            fmt_duration(max),
+        );
+        if let Some(throughput) = self.throughput {
+            let secs = mean.as_secs_f64();
+            if secs > 0.0 {
+                match throughput {
+                    Throughput::Elements(n) => {
+                        let _ = write!(line, "  thrpt: {:.3} Melem/s", n as f64 / secs / 1e6);
+                    }
+                    Throughput::Bytes(n) => {
+                        let _ = write!(
+                            line,
+                            "  thrpt: {:.3} MiB/s",
+                            n as f64 / secs / (1 << 20) as f64
+                        );
+                    }
+                }
+            }
+        }
+        println!("{line}");
+        self.criterion.results.push(BenchResult {
+            group: self.name.clone(),
+            label: label.to_string(),
+            mean,
+        });
+    }
+}
+
+/// One finished measurement, retained on [`Criterion`] so callers (and
+/// tests) can inspect results programmatically.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Group name.
+    pub group: String,
+    /// Benchmark label within the group.
+    pub label: String,
+    /// Mean time per iteration.
+    pub mean: Duration,
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+/// The benchmark manager: entry point mirroring upstream criterion.
+pub struct Criterion {
+    /// All measurements taken so far.
+    pub results: Vec<BenchResult>,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Honor a `--bench <filter>` style positional filter the way
+        // cargo bench passes it through; unknown flags are ignored.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "bench");
+        Criterion {
+            results: Vec::new(),
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Start a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            throughput: None,
+            sample_size: 10,
+            warm_up: Duration::from_millis(500),
+            measurement: Duration::from_secs(2),
+        }
+    }
+
+    /// Run a standalone benchmark outside a group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+
+    /// Whether the CLI filter (if any) selects this group.
+    pub fn group_selected(&self, name: &str) -> bool {
+        match &self.filter {
+            Some(f) => name.contains(f.as_str()),
+            None => true,
+        }
+    }
+}
+
+/// Bundle benchmark functions into a runnable group, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Produce the benchmark `main`, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_duration_picks_units() {
+        assert_eq!(fmt_duration(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(12)), "12.00 µs");
+        assert_eq!(fmt_duration(Duration::from_millis(12)), "12.00 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.000 s");
+    }
+
+    #[test]
+    fn group_runs_and_records_results() {
+        let mut criterion = Criterion {
+            results: Vec::new(),
+            filter: None,
+        };
+        {
+            let mut group = criterion.benchmark_group("smoke");
+            group.sample_size(2);
+            group.warm_up_time(Duration::from_millis(1));
+            group.measurement_time(Duration::from_millis(5));
+            group.throughput(Throughput::Elements(64));
+            group.bench_function("sum", |b| {
+                b.iter(|| (0..64u64).sum::<u64>());
+            });
+            group.bench_with_input(BenchmarkId::from_parameter(7u32), &7u32, |b, &x| {
+                b.iter(|| x * 2);
+            });
+            group.finish();
+        }
+        assert_eq!(criterion.results.len(), 2);
+        assert_eq!(criterion.results[0].label, "sum");
+        assert_eq!(criterion.results[1].label, "7");
+        // A sub-nanosecond routine can legitimately round to a 0ns mean,
+        // so only the heavier benchmark pins a positive measurement.
+        assert!(criterion.results[0].mean > Duration::ZERO);
+    }
+}

@@ -142,9 +142,7 @@ mod tests {
         assert!(e.bias > 0.3, "most pairs lean taken-or-not plausibly");
         assert!(e.unaliased_rate > 0.0 && e.unaliased_rate < 0.3);
         assert!(e.aliasing_overhead >= 0.0);
-        assert!(
-            (e.extrapolated_rate - e.unaliased_rate - e.aliasing_overhead).abs() < 1e-12
-        );
+        assert!((e.extrapolated_rate - e.unaliased_rate - e.aliasing_overhead).abs() < 1e-12);
     }
 
     #[test]

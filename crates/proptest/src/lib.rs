@@ -1,0 +1,484 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access to crates.io, so this
+//! crate vendors the minimal subset of the proptest API that
+//! `tests/properties.rs` uses: the [`Strategy`] trait with `prop_map`,
+//! range / `any` / `Just` / tuple / `prop_oneof!` / collection-vec /
+//! char-class-string strategies, and the `proptest!`, `prop_assert!`,
+//! `prop_assert_eq!` and `prop_assume!` macros.
+//!
+//! Semantics match upstream where the tests can observe them: each
+//! `proptest!` test body runs for a fixed number of generated cases
+//! (256, upstream's default), `prop_assume!` rejects a case without
+//! failing, and any `prop_assert*` failure panics with the formatted
+//! message. Shrinking is not implemented — a failing case panics with
+//! the raw inputs' iteration index instead.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+/// Number of generated cases per `proptest!` test (upstream default).
+pub const CASES: usize = 256;
+
+/// Maximum rejected cases (via `prop_assume!`) before a test gives up.
+pub const MAX_REJECTS: usize = CASES * 16;
+
+/// The RNG driving generation. Deterministic per test name.
+pub type TestRng = SmallRng;
+
+/// Why a single generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case was rejected by `prop_assume!`; try another.
+    Reject,
+    /// An assertion failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Construct a failure with a message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+}
+
+/// A generator of test values.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a full-domain generator, for [`any`].
+pub trait Arbitrary {
+    /// Generate an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_via_standard {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.gen()
+            }
+        }
+    )*};
+}
+impl_arbitrary_via_standard!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// A strategy over the whole domain of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T> Strategy for Range<T>
+where
+    T: rand::SampleUniform + Clone,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<T> Strategy for RangeInclusive<T>
+where
+    T: rand::SampleUniform + Clone,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_strategy_for_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_strategy_for_tuple!(A: 0);
+impl_strategy_for_tuple!(A: 0, B: 1);
+impl_strategy_for_tuple!(A: 0, B: 1, C: 2);
+impl_strategy_for_tuple!(A: 0, B: 1, C: 2, D: 3);
+impl_strategy_for_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_strategy_for_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+
+/// A boxed, object-safe strategy (used by [`prop_oneof!`]).
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// Uniform choice among boxed strategies; built by [`prop_oneof!`].
+pub struct OneOf<T> {
+    /// The alternatives; one is drawn uniformly per case.
+    pub options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        assert!(!self.options.is_empty(), "prop_oneof! needs alternatives");
+        let i = rng.gen_range(0..self.options.len());
+        self.options[i].generate(rng)
+    }
+}
+
+/// A character-class string strategy: `&'static str` patterns of the
+/// form `[class]{lo,hi}` (the only regex shape the workspace's tests
+/// use) generate strings of `lo..=hi` characters drawn uniformly from
+/// the class. Classes support `a-z` ranges and `\x` escapes.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (alphabet, lo, hi) = parse_class_pattern(self)
+            .unwrap_or_else(|| panic!("unsupported string pattern `{self}`"));
+        let len = rng.gen_range(lo..=hi);
+        (0..len)
+            .map(|_| alphabet[rng.gen_range(0..alphabet.len())])
+            .collect()
+    }
+}
+
+/// Parse `[class]{lo,hi}` into (alphabet, lo, hi).
+fn parse_class_pattern(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = pattern.strip_prefix('[')?;
+    let class_end = {
+        // Find the unescaped closing bracket.
+        let mut prev_backslash = false;
+        rest.char_indices()
+            .find(|&(_, c)| {
+                let close = c == ']' && !prev_backslash;
+                prev_backslash = c == '\\' && !prev_backslash;
+                close
+            })
+            .map(|(i, _)| i)?
+    };
+    let class: Vec<char> = rest[..class_end].chars().collect();
+    let reps = rest[class_end + 1..]
+        .strip_prefix('{')?
+        .strip_suffix('}')?
+        .split_once(',')?;
+    let lo: usize = reps.0.parse().ok()?;
+    let hi: usize = reps.1.parse().ok()?;
+
+    let mut alphabet = Vec::new();
+    let mut i = 0;
+    while i < class.len() {
+        match class[i] {
+            '\\' if i + 1 < class.len() => {
+                alphabet.push(class[i + 1]);
+                i += 2;
+            }
+            c if i + 2 < class.len() && class[i + 1] == '-' && class[i + 2] != ']' => {
+                for v in c as u32..=class[i + 2] as u32 {
+                    alphabet.push(char::from_u32(v)?);
+                }
+                i += 3;
+            }
+            c => {
+                alphabet.push(c);
+                i += 1;
+            }
+        }
+    }
+    (!alphabet.is_empty() && lo <= hi).then_some((alphabet, lo, hi))
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// A strategy for `Vec`s whose length is drawn from `len` and whose
+    /// elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = if self.len.is_empty() {
+                self.len.start
+            } else {
+                rng.gen_range(self.len.clone())
+            };
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// A deterministic per-test seed derived from the test's name (FNV-1a).
+pub fn seed_for(name: &str) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for byte in name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Run one proptest-style test loop. Called by the `proptest!` macro.
+///
+/// # Panics
+///
+/// Panics when a case fails, or when too many cases are rejected.
+pub fn run_cases<F>(name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let mut rng = TestRng::seed_from_u64(seed_for(name));
+    let mut passed = 0usize;
+    let mut rejected = 0usize;
+    let mut attempt = 0usize;
+    while passed < CASES {
+        attempt += 1;
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject) => {
+                rejected += 1;
+                assert!(
+                    rejected <= MAX_REJECTS,
+                    "{name}: too many rejected cases ({rejected}) — \
+                     prop_assume! condition is too strict"
+                );
+            }
+            Err(TestCaseError::Fail(message)) => {
+                panic!("{name}: case {attempt} failed: {message}")
+            }
+        }
+    }
+}
+
+/// Declare property tests. Each function parameter is drawn from its
+/// strategy for every generated case.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            $crate::run_cases(stringify!($name), |__proptest_rng| {
+                $(let $arg = $crate::Strategy::generate(&($strategy), __proptest_rng);)*
+                $body
+                #[allow(unreachable_code)]
+                ::std::result::Result::Ok(())
+            });
+        }
+    )*};
+}
+
+/// Assert a condition inside a `proptest!` body; failure fails the case
+/// with the formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` != `{:?}`: {}",
+            left,
+            right,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// Skip the current case unless a precondition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::OneOf {
+            options: vec![$(
+                ::std::boxed::Box::new($strategy)
+                    as ::std::boxed::Box<dyn $crate::Strategy<Value = _>>,
+            )+],
+        }
+    };
+}
+
+/// The commonly used items, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{any, Any, Arbitrary, Just, Strategy, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn class_pattern_parses_escapes_and_ranges() {
+        let (alphabet, lo, hi) = parse_class_pattern("[a-z0-9:,=\\-{}]{0,40}").unwrap();
+        assert_eq!(lo, 0);
+        assert_eq!(hi, 40);
+        for c in ['a', 'z', 'q', '0', '9', ':', ',', '=', '-', '{', '}'] {
+            assert!(alphabet.contains(&c), "missing {c:?}");
+        }
+        assert!(!alphabet.contains(&'\\'));
+        assert!(!alphabet.contains(&'A'));
+    }
+
+    #[test]
+    fn string_strategy_respects_length_and_alphabet() {
+        let mut rng = TestRng::seed_from_u64(1);
+        let strategy = "[ab]{2,5}";
+        for _ in 0..200 {
+            let s = strategy.generate(&mut rng);
+            assert!((2..=5).contains(&s.len()));
+            assert!(s.chars().all(|c| c == 'a' || c == 'b'));
+        }
+    }
+
+    #[test]
+    fn oneof_hits_every_alternative() {
+        let strategy = prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+        let mut rng = TestRng::seed_from_u64(2);
+        let seen: std::collections::HashSet<u8> =
+            (0..200).map(|_| strategy.generate(&mut rng)).collect();
+        assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    fn vec_strategy_length_band() {
+        let strategy = collection::vec(any::<bool>(), 3..7);
+        let mut rng = TestRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let v = strategy.generate(&mut rng);
+            assert!((3..7).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn tuples_and_map_compose() {
+        let strategy = (0u32..10, 0u32..10).prop_map(|(a, b)| a + b);
+        let mut rng = TestRng::seed_from_u64(4);
+        for _ in 0..100 {
+            assert!(strategy.generate(&mut rng) < 19);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_roundtrip(x in 0u32..1000, flip in any::<bool>()) {
+            prop_assume!(x != 999);
+            let y = if flip { x + 1 } else { x };
+            prop_assert!(y >= x, "y {y} < x {x}");
+            prop_assert_eq!(y.saturating_sub(u32::from(flip)), x);
+        }
+    }
+}

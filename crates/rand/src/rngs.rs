@@ -1,0 +1,91 @@
+//! Concrete generators.
+
+use crate::{RngCore, SeedableRng};
+
+/// A small, fast, non-cryptographic PRNG: xoshiro256++ (Blackman/Vigna,
+/// public domain reference implementation), the same algorithm family
+/// upstream `rand` 0.8 uses for `SmallRng` on 64-bit platforms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+impl RngCore for SmallRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl SeedableRng for SmallRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        // xoshiro must not start from the all-zero state; rand_xoshiro
+        // rescues it by re-seeding through SplitMix64(0), which this must
+        // match for stream compatibility.
+        if seed.iter().all(|&b| b == 0) {
+            return Self::seed_from_u64(0);
+        }
+        let mut s = [0u64; 4];
+        for (lane, chunk) in s.iter_mut().zip(seed.chunks_exact(8)) {
+            *lane = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        }
+        SmallRng { s }
+    }
+}
+
+/// The "standard" RNG, aliased to [`SmallRng`]: this workspace only needs
+/// reproducible simulation streams, not cryptographic quality.
+pub type StdRng = SmallRng;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xoshiro_reference_vector() {
+        // First outputs of xoshiro256++ from the all-ones state, computed
+        // from the published reference implementation.
+        let mut rng = SmallRng::from_seed({
+            let mut seed = [0u8; 32];
+            for chunk in seed.chunks_exact_mut(8) {
+                chunk.copy_from_slice(&1u64.to_le_bytes());
+            }
+            seed
+        });
+        // result = rotl(s0 + s3, 23) + s0 = rotl(2, 23) + 1
+        assert_eq!(rng.next_u64(), 16_777_217);
+        // after one state update the state is [1, 1, 131072, 0]:
+        // result = rotl(1, 23) + 1
+        assert_eq!(rng.next_u64(), 8_388_609);
+    }
+
+    #[test]
+    fn zero_seed_is_rescued_via_splitmix() {
+        let mut rescued = SmallRng::from_seed([0u8; 32]);
+        let mut reference = SmallRng::seed_from_u64(0);
+        let first = rescued.next_u64();
+        assert_ne!(first, 0);
+        assert_eq!(first, reference.next_u64());
+    }
+
+    #[test]
+    fn clone_preserves_stream() {
+        let mut a = SmallRng::seed_from_u64(11);
+        a.next_u64();
+        let mut b = a.clone();
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

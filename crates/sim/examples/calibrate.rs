@@ -13,17 +13,36 @@ use bpred_trace::stream::TraceSourceExt;
 use bpred_trace::workload::IbsBenchmark;
 
 fn main() {
-    let len: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(400_000);
+    let len: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(400_000);
     println!("len={len} conditionals");
-    println!("{:<10} {:>6} {:>6} {:>6} {:>6} | {:>6} {:>6} {:>6} {:>6} | {:>7} {:>7} {:>7}",
-        "bench", "ss4", "ideal4", "ss12", "ideal12", "fa1k", "fa4k", "fa16k", "fa64k", "dm4k", "dm16k", "static");
+    println!(
+        "{:<10} {:>6} {:>6} {:>6} {:>6} | {:>6} {:>6} {:>6} {:>6} | {:>7} {:>7} {:>7}",
+        "bench",
+        "ss4",
+        "ideal4",
+        "ss12",
+        "ideal12",
+        "fa1k",
+        "fa4k",
+        "fa16k",
+        "fa64k",
+        "dm4k",
+        "dm16k",
+        "static"
+    );
     for b in IbsBenchmark::all() {
         let mut ss4 = SubstreamStats::new(4);
         let mut ss12 = SubstreamStats::new(12);
         let mut id4 = Ideal::new(4, CounterKind::TwoBit).unwrap();
         let mut id12 = Ideal::new(12, CounterKind::TwoBit).unwrap();
         let mut cur = PairCursor::new(4);
-        let mut fa: Vec<TaggedFullyAssociative> = [1<<10, 1<<12, 1<<14, 1<<16].iter().map(|&c| TaggedFullyAssociative::new(c)).collect();
+        let mut fa: Vec<TaggedFullyAssociative> = [1 << 10, 1 << 12, 1 << 14, 1 << 16]
+            .iter()
+            .map(|&c| TaggedFullyAssociative::new(c))
+            .collect();
         let mut dm4k = TaggedDirectMapped::new(12, IndexFunction::Gshare);
         let mut dm16k = TaggedDirectMapped::new(14, IndexFunction::Gshare);
         let (mut n, mut m4, mut m12) = (0u64, 0u64, 0u64);
@@ -33,15 +52,29 @@ fn main() {
                 n += 1;
                 statics.insert(r.pc);
                 let o = Outcome::from(r.taken);
-                let p = id4.predict(r.pc); if !p.novel && p.outcome != o { m4 += 1; }
+                let p = id4.predict(r.pc);
+                if !p.novel && p.outcome != o {
+                    m4 += 1;
+                }
                 id4.update(r.pc, o);
-                let p = id12.predict(r.pc); if !p.novel && p.outcome != o { m12 += 1; }
+                let p = id12.predict(r.pc);
+                if !p.novel && p.outcome != o {
+                    m12 += 1;
+                }
                 id12.update(r.pc, o);
                 let v = cur.vector(r.pc);
-                for f in fa.iter_mut() { f.access(v.pair()); }
-                dm4k.access(&v); dm16k.access(&v);
-            } else { id4.record_unconditional(r.pc); id12.record_unconditional(r.pc); }
-            ss4.observe(&r); ss12.observe(&r); cur.advance(&r);
+                for f in fa.iter_mut() {
+                    f.access(v.pair());
+                }
+                dm4k.access(&v);
+                dm16k.access(&v);
+            } else {
+                id4.record_unconditional(r.pc);
+                id12.record_unconditional(r.pc);
+            }
+            ss4.observe(&r);
+            ss12.observe(&r);
+            cur.advance(&r);
         }
         let nf = n as f64;
         println!("{:<10} {:>6.2} {:>6.2} {:>6.2} {:>6.2} | {:>6.2} {:>6.2} {:>6.2} {:>6.2} | {:>7.2} {:>7.2} {:>7}",

@@ -86,8 +86,7 @@ pub fn duel(
             let pa = a.predict(record.pc);
             let pb = b.predict(record.pc);
             let outcome = Outcome::from(record.taken);
-            let excluded =
-                novel_policy == NovelPolicy::Exclude && (pa.novel || pb.novel);
+            let excluded = novel_policy == NovelPolicy::Exclude && (pa.novel || pb.novel);
             if !excluded {
                 result.branches += 1;
                 let a_wrong = pa.outcome != outcome;
@@ -123,7 +122,10 @@ mod tests {
         let r = duel(
             &mut a,
             &mut b,
-            IbsBenchmark::Verilog.spec().build().take_conditionals(20_000),
+            IbsBenchmark::Verilog
+                .spec()
+                .build()
+                .take_conditionals(20_000),
             NovelPolicy::Count,
         );
         assert_eq!(r.only_a_wrong, 0);

@@ -9,7 +9,7 @@
 //!   EV8-style 2bc-gskew and a McFarling gshare+bimodal hybrid against
 //!   e-gskew.
 
-use super::helpers::{bench_sweep_table, history_labels, sim_pct, size_labels};
+use super::helpers::{history_labels, size_labels, spec_sweep_table};
 use super::{ExperimentOpts, ExperimentOutput};
 
 const SIZES_LOG2: std::ops::RangeInclusive<u32> = 6..=14;
@@ -17,36 +17,23 @@ const SIZES_LOG2: std::ops::RangeInclusive<u32> = 6..=14;
 pub(super) fn banks(opts: &ExperimentOpts) -> ExperimentOutput {
     let ns: Vec<u32> = SIZES_LOG2.collect();
     let labels = size_labels(*SIZES_LOG2.start(), *SIZES_LOG2.end());
-    let three = bench_sweep_table(
+    let three = spec_sweep_table(
         "3-bank gskew mispredict % (h=4, partial)",
         "bank entries",
         &labels,
         opts,
-        |row, bench| {
-            sim_pct(
-                &format!("gskew:n={},h=4,banks=3", ns[row]),
-                bench,
-                opts.len_for(bench),
-            )
-        },
+        |row| format!("gskew:n={},h=4,banks=3", ns[row]),
     );
-    let five = bench_sweep_table(
+    let five = spec_sweep_table(
         "5-bank gskew mispredict % (h=4, partial)",
         "bank entries",
         &labels,
         opts,
-        |row, bench| {
-            sim_pct(
-                &format!("gskew:n={},h=4,banks=5", ns[row]),
-                bench,
-                opts.len_for(bench),
-            )
-        },
+        |row| format!("gskew:n={},h=4,banks=5", ns[row]),
     );
     ExperimentOutput {
         id: "ablation-banks",
-        title: "Ablation — 3 vs 5 predictor banks (section 5.1: expect negligible benefit)"
-            .into(),
+        title: "Ablation — 3 vs 5 predictor banks (section 5.1: expect negligible benefit)".into(),
         tables: vec![three, five],
     }
 }
@@ -54,31 +41,19 @@ pub(super) fn banks(opts: &ExperimentOpts) -> ExperimentOutput {
 pub(super) fn update(opts: &ExperimentOpts) -> ExperimentOutput {
     let ns: Vec<u32> = SIZES_LOG2.collect();
     let labels = size_labels(*SIZES_LOG2.start(), *SIZES_LOG2.end());
-    let partial = bench_sweep_table(
+    let partial = spec_sweep_table(
         "gskew partial update mispredict % (h=4)",
         "bank entries",
         &labels,
         opts,
-        |row, bench| {
-            sim_pct(
-                &format!("gskew:n={},h=4,update=partial", ns[row]),
-                bench,
-                opts.len_for(bench),
-            )
-        },
+        |row| format!("gskew:n={},h=4,update=partial", ns[row]),
     );
-    let total = bench_sweep_table(
+    let total = spec_sweep_table(
         "gskew total update mispredict % (h=4)",
         "bank entries",
         &labels,
         opts,
-        |row, bench| {
-            sim_pct(
-                &format!("gskew:n={},h=4,update=total", ns[row]),
-                bench,
-                opts.len_for(bench),
-            )
-        },
+        |row| format!("gskew:n={},h=4,update=total", ns[row]),
     );
     ExperimentOutput {
         id: "ablation-update",
@@ -93,7 +68,7 @@ pub(super) fn counters(opts: &ExperimentOpts) -> ExperimentOutput {
     let mut tables = Vec::new();
     for (scheme, spec_name) in [("gshare", "gshare"), ("gskew", "gskew")] {
         for bits in [1u8, 2] {
-            tables.push(bench_sweep_table(
+            tables.push(spec_sweep_table(
                 format!("{scheme} {bits}-bit counters mispredict % (h=4)"),
                 if scheme == "gshare" {
                     "entries"
@@ -102,13 +77,7 @@ pub(super) fn counters(opts: &ExperimentOpts) -> ExperimentOutput {
                 },
                 &labels,
                 opts,
-                |row, bench| {
-                    sim_pct(
-                        &format!("{spec_name}:n={},h=4,ctr={bits}", ns[row]),
-                        bench,
-                        opts.len_for(bench),
-                    )
-                },
+                |row| format!("{spec_name}:n={},h=4,ctr={bits}", ns[row]),
             ));
         }
     }
@@ -122,10 +91,7 @@ pub(super) fn counters(opts: &ExperimentOpts) -> ExperimentOutput {
 pub(super) fn hybrids(opts: &ExperimentOpts) -> ExperimentOutput {
     let labels = history_labels(4, 16);
     let specs: [(&str, &str); 3] = [
-        (
-            "3x4K e-gskew (24K counter bits)",
-            "egskew:n=12,h={h}",
-        ),
+        ("3x4K e-gskew (24K counter bits)", "egskew:n=12,h={h}"),
         (
             "4x4K 2bc-gskew (32K counter bits, EV8-style)",
             "2bcgskew:n=12,h={h}",
@@ -138,19 +104,12 @@ pub(super) fn hybrids(opts: &ExperimentOpts) -> ExperimentOutput {
     let tables = specs
         .iter()
         .map(|(title, template)| {
-            bench_sweep_table(
+            spec_sweep_table(
                 format!("{title} mispredict % vs history length"),
                 "history bits",
                 &labels,
                 opts,
-                |row, bench| {
-                    let h = row + 4;
-                    sim_pct(
-                        &template.replace("{h}", &h.to_string()),
-                        bench,
-                        opts.len_for(bench),
-                    )
-                },
+                |row| template.replace("{h}", &(row + 4).to_string()),
             )
         })
         .collect();

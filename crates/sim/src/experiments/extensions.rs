@@ -22,7 +22,9 @@
 //! * **ext-seeds** — the headline comparison re-run across regenerated
 //!   workloads (seed robustness).
 
-use super::helpers::{bench_sweep_table, history_labels, sim_pct, size_labels, stream};
+use super::helpers::{
+    bench_sweep_table, history_labels, sim_pct, size_labels, spec_sweep_table, stream,
+};
 use super::{ExperimentOpts, ExperimentOutput};
 use crate::engine;
 use crate::report::{pct, Table};
@@ -41,18 +43,12 @@ pub(super) fn skew_ablation(opts: &ExperimentOpts) -> ExperimentOutput {
     let labels = size_labels(*SIZES.start(), *SIZES.end());
     let make = |template: &'static str| {
         let ns = ns.clone();
-        bench_sweep_table(
+        spec_sweep_table(
             format!("{template} mispredict % (h=4)"),
             "bank entries",
             &labels,
             opts,
-            move |row, bench| {
-                sim_pct(
-                    &template.replace("{n}", &ns[row].to_string()),
-                    bench,
-                    opts.len_for(bench),
-                )
-            },
+            move |row| template.replace("{n}", &ns[row].to_string()),
         )
     };
     ExperimentOutput {
@@ -73,33 +69,31 @@ pub(super) fn antialias(opts: &ExperimentOpts) -> ExperimentOutput {
     let labels = history_labels(2, 14);
     let specs: [(&str, &str); 4] = [
         ("3x4K gskew (24.6 Kbit)", "gskew:n=12,h={h}"),
-        ("8K agree + 4K bias bits (24.6 Kbit)", "agree:n=13,h={h},bias=12"),
-        ("2x4K bimode + 4K choice (24.6 Kbit)", "bimode:n=12,h={h},choice=12"),
+        (
+            "8K agree + 4K bias bits (24.6 Kbit)",
+            "agree:n=13,h={h},bias=12",
+        ),
+        (
+            "2x4K bimode + 4K choice (24.6 Kbit)",
+            "bimode:n=12,h={h},choice=12",
+        ),
         ("16K gshare (32.8 Kbit)", "gshare:n=14,h={h}"),
     ];
     let tables = specs
         .iter()
         .map(|(title, template)| {
-            bench_sweep_table(
+            spec_sweep_table(
                 format!("{title} mispredict % vs history length"),
                 "history bits",
                 &labels,
                 opts,
-                |row, bench| {
-                    let h = row + 2;
-                    sim_pct(
-                        &template.replace("{h}", &h.to_string()),
-                        bench,
-                        opts.len_for(bench),
-                    )
-                },
+                |row| template.replace("{h}", &(row + 2).to_string()),
             )
         })
         .collect();
     ExperimentOutput {
         id: "ext-antialias",
-        title: "Extension — the 1997 anti-aliasing design space at comparable storage"
-            .into(),
+        title: "Extension — the 1997 anti-aliasing design space at comparable storage".into(),
         tables,
     }
 }
@@ -110,18 +104,12 @@ pub(super) fn pas(opts: &ExperimentOpts) -> ExperimentOutput {
     let labels = size_labels(*SIZES.start(), *SIZES.end());
     let make = |title: &str, template: &'static str| {
         let ns = ns.clone();
-        bench_sweep_table(
+        spec_sweep_table(
             title.to_string(),
             "pattern entries",
             &labels,
             opts,
-            move |row, bench| {
-                sim_pct(
-                    &template.replace("{n}", &ns[row].to_string()),
-                    bench,
-                    opts.len_for(bench),
-                )
-            },
+            move |row| template.replace("{n}", &ns[row].to_string()),
         )
     };
     ExperimentOutput {
@@ -146,8 +134,7 @@ pub(super) fn pas(opts: &ExperimentOpts) -> ExperimentOutput {
 }
 
 pub(super) fn multiprogram(opts: &ExperimentOpts) -> ExperimentOutput {
-    const MIX: [IbsBenchmark; 3] =
-        [IbsBenchmark::Groff, IbsBenchmark::Gs, IbsBenchmark::Verilog];
+    const MIX: [IbsBenchmark; 3] = [IbsBenchmark::Groff, IbsBenchmark::Gs, IbsBenchmark::Verilog];
     let specs = [
         "gshare:n=14,h=8",
         "gskew:n=12,h=8",
@@ -170,8 +157,8 @@ pub(super) fn multiprogram(opts: &ExperimentOpts) -> ExperimentOutput {
             / MIX.len() as f64;
         // The mixed run sees the same total number of branches.
         let mut predictor = parse_spec(spec).expect("valid spec");
-        let mixed = MultiProgram::new(MIX.iter().map(|b| b.spec()).collect(), slice)
-            .take_conditionals(len);
+        let mixed =
+            MultiProgram::new(MIX.iter().map(|b| b.spec()).collect(), slice).take_conditionals(len);
         let mixed_pct = engine::run(&mut predictor, mixed).mispredict_pct();
         (spec, solo_mean, mixed_pct)
     });
@@ -206,18 +193,17 @@ pub(super) fn encoding(opts: &ExperimentOpts) -> ExperimentOutput {
     let labels = size_labels(*SIZES.start(), *SIZES.end());
     let make = |title: &'static str, template: &'static str| {
         let ns = ns.clone();
-        bench_sweep_table(
+        spec_sweep_table(
             title.to_string(),
             "bank entries",
             &labels,
             opts,
-            move |row, bench| {
-                // `{n}` is the sweep size, `{m}` one size smaller (the
-                // 2/3-storage reference point).
-                let spec = template
+            // `{n}` is the sweep size, `{m}` one size smaller (the
+            // 2/3-storage reference point).
+            move |row| {
+                template
                     .replace("{n}", &ns[row].to_string())
-                    .replace("{m}", &(ns[row] - 1).to_string());
-                sim_pct(&spec, bench, opts.len_for(bench))
+                    .replace("{m}", &(ns[row] - 1).to_string())
             },
         )
     };
@@ -250,15 +236,35 @@ pub(super) fn duel_verdicts(opts: &ExperimentOpts) -> ExperimentOutput {
 
     // The paper's key pairings, as paired McNemar tests.
     let pairings: [(&str, &str, &str); 3] = [
-        ("gskew vs 2/3-storage gshare (h=6)", "gshare:n=13,h=6", "gskew:n=12,h=6"),
-        ("gskew partial vs total (3x4K, h=4)", "gskew:n=12,h=4,update=total", "gskew:n=12,h=4"),
-        ("e-gskew vs gskew (3x4K, h=12)", "gskew:n=12,h=12", "egskew:n=12,h=12"),
+        (
+            "gskew vs 2/3-storage gshare (h=6)",
+            "gshare:n=13,h=6",
+            "gskew:n=12,h=6",
+        ),
+        (
+            "gskew partial vs total (3x4K, h=4)",
+            "gskew:n=12,h=4,update=total",
+            "gskew:n=12,h=4",
+        ),
+        (
+            "e-gskew vs gskew (3x4K, h=12)",
+            "gskew:n=12,h=12",
+            "egskew:n=12,h=12",
+        ),
     ];
     let tables = pairings
         .map(|(title, spec_a, spec_b)| {
             let mut table = Table::with_columns(
                 format!("{title}: A = {spec_a}, B = {spec_b}"),
-                &["benchmark", "A %", "B %", "only A wrong", "only B wrong", "z", "verdict"],
+                &[
+                    "benchmark",
+                    "A %",
+                    "B %",
+                    "only A wrong",
+                    "only B wrong",
+                    "z",
+                    "verdict",
+                ],
             );
             let rows = parallel_map(IbsBenchmark::all().to_vec(), opts.threads, |bench| {
                 let mut a = parse_spec(spec_a).expect("valid spec");
@@ -329,11 +335,8 @@ pub(super) fn seeds(opts: &ExperimentOpts) -> ExperimentOutput {
             spec.seed = spec.seed.wrapping_add(seed_offset * 0x1_0000);
             for (i, pred_spec) in specs.iter().enumerate() {
                 let mut predictor = parse_spec(pred_spec).expect("valid spec");
-                let pct = engine::run(
-                    &mut predictor,
-                    spec.build().take_conditionals(len),
-                )
-                .mispredict_pct();
+                let pct = engine::run(&mut predictor, spec.build().take_conditionals(len))
+                    .mispredict_pct();
                 results[i].push(pct);
             }
         }
@@ -637,7 +640,10 @@ mod tests {
             .iter()
             .filter(|r| r[3].parse::<f64>().unwrap_or(0.0) > -0.3)
             .count();
-        assert!(degrading >= 4, "only {degrading}/6 rows degrade under mixing");
+        assert!(
+            degrading >= 4,
+            "only {degrading}/6 rows degrade under mixing"
+        );
     }
 
     #[test]

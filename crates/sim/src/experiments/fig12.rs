@@ -5,44 +5,44 @@
 //! diverge at long ones (e-gskew better); the 3x4K e-gskew rivals the 32K
 //! gshare at less than half the storage.
 
-use super::helpers::{bench_sweep_table, history_labels, sim_pct};
+use super::helpers::{history_labels, spec_sweep_table};
 use super::{ExperimentOpts, ExperimentOutput};
 
 const MAX_HISTORY: u32 = 16;
 
 pub(super) fn run(opts: &ExperimentOpts) -> ExperimentOutput {
     let labels = history_labels(0, MAX_HISTORY);
-    let egskew = bench_sweep_table(
+    let egskew = spec_sweep_table(
         "3x4K enhanced gskew mispredict % vs history length",
         "history bits",
         &labels,
         opts,
-        |row, bench| sim_pct(&format!("egskew:n=12,h={row}"), bench, opts.len_for(bench)),
+        |row| format!("egskew:n=12,h={row}"),
     );
-    let gskew = bench_sweep_table(
+    let gskew = spec_sweep_table(
         "3x4K gskew mispredict % vs history length",
         "history bits",
         &labels,
         opts,
-        |row, bench| sim_pct(&format!("gskew:n=12,h={row}"), bench, opts.len_for(bench)),
+        |row| format!("gskew:n=12,h={row}"),
     );
-    let gshare = bench_sweep_table(
+    let gshare = spec_sweep_table(
         "32K gshare mispredict % vs history length",
         "history bits",
         &labels,
         opts,
-        |row, bench| sim_pct(&format!("gshare:n=15,h={row}"), bench, opts.len_for(bench)),
+        |row| format!("gshare:n=15,h={row}"),
     );
     ExperimentOutput {
         id: "fig12",
-        title: "Figure 12 — enhanced gskew vs gskew vs 32K gshare across history lengths"
-            .into(),
+        title: "Figure 12 — enhanced gskew vs gskew vs 32K gshare across history lengths".into(),
         tables: vec![egskew, gskew, gshare],
     }
 }
 
 #[cfg(test)]
 mod tests {
+    use super::super::helpers::sim_pct;
     use super::*;
     use bpred_trace::workload::IbsBenchmark;
 

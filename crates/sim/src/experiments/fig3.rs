@@ -34,10 +34,11 @@ fn collisions(func: IndexFunction, pairs: &[InfoVector]) -> Vec<(u64, Vec<String
     let mut by_index: std::collections::BTreeMap<u64, Vec<String>> =
         std::collections::BTreeMap::new();
     for v in pairs {
-        by_index
-            .entry(func.index(v, N))
-            .or_default()
-            .push(format!("(a={:04b}, h={:04b})", v.addr(), v.hist()));
+        by_index.entry(func.index(v, N)).or_default().push(format!(
+            "(a={:04b}, h={:04b})",
+            v.addr(),
+            v.hist()
+        ));
     }
     by_index
         .into_iter()

@@ -6,7 +6,7 @@
 //! banks of one third the total (so `3x4096 = 12288` sits between the 8K
 //! and 16K gshare rows, the flexibility argument of section 7).
 
-use super::helpers::{bench_sweep_table, sim_pct, size_labels};
+use super::helpers::{size_labels, spec_sweep_table};
 use super::{ExperimentOpts, ExperimentOutput};
 use crate::report::Table;
 
@@ -16,18 +16,12 @@ const GSKEW_BANK_LOG2: std::ops::RangeInclusive<u32> = 5..=16;
 fn gshare_table(opts: &ExperimentOpts, h: u32) -> Table {
     let sizes: Vec<u32> = GSHARE_LOG2.collect();
     let labels = size_labels(*GSHARE_LOG2.start(), *GSHARE_LOG2.end());
-    bench_sweep_table(
+    spec_sweep_table(
         format!("gshare mispredict % ({h}-bit history)"),
         "total entries",
         &labels,
         opts,
-        |row, bench| {
-            sim_pct(
-                &format!("gshare:n={},h={h}", sizes[row]),
-                bench,
-                opts.len_for(bench),
-            )
-        },
+        |row| format!("gshare:n={},h={h}", sizes[row]),
     )
 }
 
@@ -37,18 +31,12 @@ fn gskew_table(opts: &ExperimentOpts, h: u32) -> Table {
         .iter()
         .map(|&n| format!("3x{} = {}", 1u64 << n, 3 * (1u64 << n)))
         .collect();
-    bench_sweep_table(
+    spec_sweep_table(
         format!("gskew mispredict % (3 banks, partial update, {h}-bit history)"),
         "total entries",
         &labels,
         opts,
-        |row, bench| {
-            sim_pct(
-                &format!("gskew:n={},h={h}", banks[row]),
-                bench,
-                opts.len_for(bench),
-            )
-        },
+        |row| format!("gskew:n={},h={h}", banks[row]),
     )
 }
 
@@ -65,6 +53,7 @@ pub(super) fn run(opts: &ExperimentOpts, h: u32, id: &'static str) -> Experiment
 
 #[cfg(test)]
 mod tests {
+    use super::super::helpers::sim_pct;
     use super::*;
     use bpred_trace::workload::IbsBenchmark;
 

@@ -6,7 +6,7 @@
 //! The paper's conclusion: gskew with partial update slightly beats the
 //! FA-LRU table; with total update it is slightly worse.
 
-use super::helpers::{bench_sweep_table, sim_pct, size_labels};
+use super::helpers::{size_labels, spec_sweep_table};
 use super::{ExperimentOpts, ExperimentOutput};
 
 const N_LOG2: std::ops::RangeInclusive<u32> = 6..=14;
@@ -14,68 +14,59 @@ const N_LOG2: std::ops::RangeInclusive<u32> = 6..=14;
 pub(super) fn run(opts: &ExperimentOpts) -> ExperimentOutput {
     let ns: Vec<u32> = N_LOG2.collect();
     let labels = size_labels(*N_LOG2.start(), *N_LOG2.end());
-    let falru = bench_sweep_table(
+    let falru = spec_sweep_table(
         "N-entry fully-associative LRU mispredict % (miss => always taken)",
         "N",
         &labels,
         opts,
-        |row, bench| {
-            sim_pct(
-                &format!("falru:cap={},h=4", 1u64 << ns[row]),
-                bench,
-                opts.len_for(bench),
-            )
-        },
+        |row| format!("falru:cap={},h=4", 1u64 << ns[row]),
     );
-    let partial = bench_sweep_table(
+    let partial = spec_sweep_table(
         "3xN gskew mispredict % (partial update)",
         "N",
         &labels,
         opts,
-        |row, bench| {
-            sim_pct(
-                &format!("gskew:n={},h=4,update=partial", ns[row]),
-                bench,
-                opts.len_for(bench),
-            )
-        },
+        |row| format!("gskew:n={},h=4,update=partial", ns[row]),
     );
-    let total = bench_sweep_table(
+    let total = spec_sweep_table(
         "3xN gskew mispredict % (total update)",
         "N",
         &labels,
         opts,
-        |row, bench| {
-            sim_pct(
-                &format!("gskew:n={},h=4,update=total", ns[row]),
-                bench,
-                opts.len_for(bench),
-            )
-        },
+        |row| format!("gskew:n={},h=4,update=total", ns[row]),
     );
     ExperimentOutput {
         id: "fig8",
-        title: "Figure 8 — 3N-entry gskew vs N-entry fully-associative LRU, 4-bit history"
-            .into(),
+        title: "Figure 8 — 3N-entry gskew vs N-entry fully-associative LRU, 4-bit history".into(),
         tables: vec![falru, partial, total],
     }
 }
 
 #[cfg(test)]
 mod tests {
+    use super::super::helpers::sim_pct;
     use super::*;
     use bpred_trace::workload::IbsBenchmark;
 
     #[test]
     fn partial_update_beats_total_update() {
-        // Section 5.1's consistent finding.
-        let bench = IbsBenchmark::Gs;
+        // Section 5.1's finding is an aggregate one ("partial update
+        // consistently outperforms total update" across the suite), so
+        // assert it on the six-benchmark mean; individual benchmarks can
+        // and do flip by a few hundredths of a percent either way.
         let len = 120_000;
-        let partial = sim_pct("gskew:n=9,h=4,update=partial", bench, len);
-        let total = sim_pct("gskew:n=9,h=4,update=total", bench, len);
+        let mean = |spec: &str| -> f64 {
+            let sum: f64 = IbsBenchmark::all()
+                .iter()
+                .map(|&b| sim_pct(spec, b, len))
+                .sum();
+            sum / IbsBenchmark::all().len() as f64
+        };
+        let partial = mean("gskew:n=9,h=4,update=partial");
+        let total = mean("gskew:n=9,h=4,update=total");
         assert!(
-            partial <= total + 0.05,
-            "partial {partial} should not lose to total {total}"
+            partial <= total + 0.02,
+            "partial {partial} should not lose to total {total} on average"
         );
     }
 

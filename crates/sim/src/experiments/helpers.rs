@@ -4,14 +4,18 @@ use super::ExperimentOpts;
 use crate::engine::{self, NovelPolicy};
 use crate::report::{pct, Table};
 use crate::runner::parallel_map;
+use bpred_core::predictor::BranchPredictor;
 use bpred_core::spec::parse_spec;
+use bpred_trace::cache;
 use bpred_trace::record::BranchRecord;
-use bpred_trace::stream::TraceSourceExt;
 use bpred_trace::workload::IbsBenchmark;
 
-/// The benchmark record stream bounded to `len` conditional branches.
+/// The benchmark record stream bounded to `len` conditional branches,
+/// served from the process-wide trace cache: repeated calls with the same
+/// arguments share one materialized `Arc<[BranchRecord]>` instead of
+/// regenerating the workload.
 pub fn stream(bench: IbsBenchmark, len: u64) -> impl Iterator<Item = BranchRecord> {
-    bench.spec().build().take_conditionals(len)
+    cache::stream(bench, len)
 }
 
 /// Simulate a predictor spec over one benchmark and return the
@@ -61,6 +65,76 @@ pub fn bench_sweep_table(
     table
 }
 
+/// Build a benchmark-per-column table where row `i` is the predictor
+/// spec `spec_for_row(i)`, batched: each benchmark's column is produced
+/// by materializing the trace once (through the process-wide cache) and
+/// driving *all* row predictors over it in a single
+/// [`engine::run_many`] pass. Bit-identical to calling [`sim_pct`] per
+/// cell, but an R-row table costs one trace walk per benchmark instead
+/// of R.
+///
+/// Novel references are counted normally ([`NovelPolicy::Count`]), as in
+/// [`sim_pct`]; use [`spec_sweep_table_with`] for an explicit policy.
+///
+/// # Panics
+///
+/// Panics on an invalid predictor spec — experiment code owns its specs.
+pub fn spec_sweep_table(
+    title: impl Into<String>,
+    first_column: &str,
+    row_labels: &[String],
+    opts: &ExperimentOpts,
+    spec_for_row: impl Fn(usize) -> String + Sync,
+) -> Table {
+    spec_sweep_table_with(
+        title,
+        first_column,
+        row_labels,
+        opts,
+        spec_for_row,
+        NovelPolicy::Count,
+    )
+}
+
+/// [`spec_sweep_table`] with an explicit novel-reference policy.
+pub fn spec_sweep_table_with(
+    title: impl Into<String>,
+    first_column: &str,
+    row_labels: &[String],
+    opts: &ExperimentOpts,
+    spec_for_row: impl Fn(usize) -> String + Sync,
+    policy: NovelPolicy,
+) -> Table {
+    let mut columns = vec![first_column.to_string()];
+    columns.extend(IbsBenchmark::all().iter().map(|b| b.name().to_string()));
+    let mut table = Table::new(title, columns);
+
+    let rows = row_labels.len();
+    // One task per benchmark: the per-benchmark trace is the shared
+    // resource, so it is also the unit of parallelism.
+    let per_bench: Vec<Vec<f64>> =
+        parallel_map(IbsBenchmark::all().to_vec(), opts.threads, |bench| {
+            let trace = cache::materialize(bench, opts.len_for(bench));
+            let mut predictors: Vec<Box<dyn BranchPredictor>> = (0..rows)
+                .map(|row| {
+                    let spec = spec_for_row(row);
+                    parse_spec(&spec).unwrap_or_else(|e| panic!("bad spec `{spec}`: {e}"))
+                })
+                .collect();
+            engine::run_many(&mut predictors, &trace, policy)
+                .into_iter()
+                .map(|r| r.mispredict_pct())
+                .collect()
+        });
+
+    for (row, label) in row_labels.iter().enumerate() {
+        let mut cells = vec![label.clone()];
+        cells.extend(per_bench.iter().map(|col| pct(col[row])));
+        table.push_row(cells);
+    }
+    table
+}
+
 /// Power-of-two size labels `2^lo ..= 2^hi`.
 pub fn size_labels(lo: u32, hi: u32) -> Vec<String> {
     (lo..=hi).map(|n| format!("{}", 1u64 << n)).collect()
@@ -96,5 +170,26 @@ mod tests {
         assert_eq!(t.rows().len(), 2);
         assert_eq!(t.columns().len(), 7);
         assert_eq!(t.rows()[1][1], "1.00");
+    }
+
+    #[test]
+    fn spec_sweep_matches_per_cell_sim_pct() {
+        // The batched path must render exactly the table the per-cell
+        // path would: same accounting, same formatting, cell by cell.
+        let mut opts = ExperimentOpts::quick();
+        opts.len_override = Some(8_000);
+        let rows = vec!["8".to_string(), "10".to_string()];
+        let ns = [8u32, 10];
+        let batched = spec_sweep_table("t", "n", &rows, &opts, |row| {
+            format!("gshare:n={},h=4", ns[row])
+        });
+        let per_cell = bench_sweep_table("t", "n", &rows, &opts, |row, bench| {
+            sim_pct(
+                &format!("gshare:n={},h=4", ns[row]),
+                bench,
+                opts.len_for(bench),
+            )
+        });
+        assert_eq!(batched.rows(), per_cell.rows());
     }
 }

@@ -11,14 +11,14 @@ use bpred_trace::workload::IbsBenchmark;
 
 mod ablations;
 mod extensions;
+mod fig11;
+mod fig12;
 mod fig1_fig2;
 mod fig3;
 mod fig5_fig6;
 mod fig7;
 mod fig8;
 mod fig9;
-mod fig11;
-mod fig12;
 mod helpers;
 mod table1;
 mod table2;

@@ -25,7 +25,10 @@ pub(super) fn run(opts: &ExperimentOpts) -> ExperimentOutput {
         ],
     );
     let stats = parallel_map(IbsBenchmark::all().to_vec(), opts.threads, |bench| {
-        (bench, TraceStats::collect(stream(bench, opts.len_for(bench))))
+        (
+            bench,
+            TraceStats::collect(stream(bench, opts.len_for(bench))),
+        )
     });
     for (bench, s) in stats {
         table.push_row(vec![

@@ -1,0 +1,360 @@
+//! Process-wide memoization of materialized benchmark traces.
+//!
+//! The synthetic workloads are deterministic but expensive to generate:
+//! every [`sim_pct`-style](crate::workload) sweep cell that re-walks the
+//! same `(benchmark, len)` stream pays the full CFG-walk cost again. This
+//! module materializes a benchmark's record stream *once* into an
+//! `Arc<[BranchRecord]>` and hands the same allocation to every
+//! subsequent caller, so an N-row sweep generates each trace once instead
+//! of N times (and a batched engine can drive N predictors over one
+//! pass — see `bpred-sim`'s `engine::run_many`).
+//!
+//! Properties:
+//!
+//! * **Thread-safe** — lookups take a mutex briefly; generation happens
+//!   *outside* the lock, so concurrent misses on different keys
+//!   materialize in parallel. If two threads race on the same key the
+//!   loser adopts the winner's allocation (streams are deterministic, so
+//!   the two are identical).
+//! * **Bounded** — resident bytes are capped (1 GiB by default); the
+//!   least-recently-used entry is evicted when an insert would exceed the
+//!   cap. An entry larger than the whole cap is returned uncached.
+//! * **Observable** — global hit/miss/eviction counters feed the CLI's
+//!   `--verbose` summaries ([`stats`]).
+//! * **Bypassable** — [`set_enabled]`(false)` (the CLI's
+//!   `--no-trace-cache`) regenerates every request without storing it,
+//!   restoring the streaming memory profile. The switch is process-global:
+//!   only single-threaded entry points (the CLI `main`) should flip it;
+//!   tests must not, as test binaries run threads concurrently.
+
+use crate::record::BranchRecord;
+use crate::stream::TraceSourceExt;
+use crate::workload::IbsBenchmark;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Default resident-byte bound: at 16 bytes per record this holds about
+/// 67 M records — the six default-length benchmark traces together are
+/// roughly 13 M conditionals plus interleaved unconditionals, so whole
+/// `experiment all` runs fit without eviction.
+pub const DEFAULT_CAPACITY_BYTES: usize = 1 << 30;
+
+/// One cached trace keyed by `(benchmark, conditional-branch length)`.
+type Key = (IbsBenchmark, u64);
+
+struct Entry {
+    records: Arc<[BranchRecord]>,
+    /// Logical timestamp of the last hit; smallest is evicted first.
+    stamp: u64,
+}
+
+/// The bounded LRU map (generation-agnostic: callers insert ready-made
+/// slices, which keeps eviction unit-testable without workloads).
+struct LruCache {
+    capacity_bytes: usize,
+    resident_bytes: usize,
+    clock: u64,
+    map: HashMap<Key, Entry>,
+    evictions: u64,
+}
+
+impl LruCache {
+    fn new(capacity_bytes: usize) -> Self {
+        LruCache {
+            capacity_bytes,
+            resident_bytes: 0,
+            clock: 0,
+            map: HashMap::new(),
+            evictions: 0,
+        }
+    }
+
+    fn bytes_of(records: &[BranchRecord]) -> usize {
+        std::mem::size_of_val(records)
+    }
+
+    fn get(&mut self, key: &Key) -> Option<Arc<[BranchRecord]>> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.map.get_mut(key).map(|e| {
+            e.stamp = clock;
+            Arc::clone(&e.records)
+        })
+    }
+
+    /// Insert `records`, evicting least-recently-used entries until the
+    /// byte bound holds. A slice larger than the whole capacity is not
+    /// stored at all.
+    fn insert(&mut self, key: Key, records: Arc<[BranchRecord]>) {
+        let bytes = Self::bytes_of(&records);
+        if bytes > self.capacity_bytes {
+            return;
+        }
+        while self.resident_bytes + bytes > self.capacity_bytes {
+            let oldest = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(k, _)| *k)
+                .expect("over capacity implies a resident entry");
+            let evicted = self.map.remove(&oldest).expect("key just found");
+            self.resident_bytes -= Self::bytes_of(&evicted.records);
+            self.evictions += 1;
+        }
+        self.clock += 1;
+        self.resident_bytes += bytes;
+        self.map.insert(
+            key,
+            Entry {
+                records,
+                stamp: self.clock,
+            },
+        );
+    }
+}
+
+static CACHE: OnceLock<Mutex<LruCache>> = OnceLock::new();
+static ENABLED: AtomicBool = AtomicBool::new(true);
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+
+fn cache() -> &'static Mutex<LruCache> {
+    CACHE.get_or_init(|| Mutex::new(LruCache::new(DEFAULT_CAPACITY_BYTES)))
+}
+
+/// Enable or disable the process-wide cache. While disabled,
+/// [`materialize`] regenerates the trace on every call and stores
+/// nothing (existing entries are kept but not served).
+///
+/// This is a process-global switch intended for single-threaded entry
+/// points (the CLI's `--no-trace-cache`); tests should leave it alone
+/// because test binaries run threads concurrently.
+pub fn set_enabled(enabled: bool) {
+    ENABLED.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether the cache currently serves and stores entries.
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// A snapshot of the cache's counters, for `--verbose` run summaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups served from a resident entry.
+    pub hits: u64,
+    /// Lookups that had to generate the trace (bypassed lookups while the
+    /// cache is disabled are not counted).
+    pub misses: u64,
+    /// Entries dropped to respect the byte bound.
+    pub evictions: u64,
+    /// Resident traces right now.
+    pub entries: usize,
+    /// Bytes held by resident traces right now.
+    pub resident_bytes: usize,
+}
+
+impl CacheStats {
+    /// `hits / (hits + misses)`, or 0 when nothing was looked up.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Snapshot the global counters.
+pub fn stats() -> CacheStats {
+    let guard = cache().lock().expect("trace cache poisoned");
+    CacheStats {
+        hits: HITS.load(Ordering::Relaxed),
+        misses: MISSES.load(Ordering::Relaxed),
+        evictions: guard.evictions,
+        entries: guard.map.len(),
+        resident_bytes: guard.resident_bytes,
+    }
+}
+
+/// Drop every resident trace (counters are kept).
+pub fn clear() {
+    let mut guard = cache().lock().expect("trace cache poisoned");
+    let capacity = guard.capacity_bytes;
+    *guard = LruCache::new(capacity);
+}
+
+fn generate(bench: IbsBenchmark, len: u64) -> Arc<[BranchRecord]> {
+    let records: Vec<BranchRecord> = bench.spec().build().take_conditionals(len).collect();
+    records.into()
+}
+
+/// The benchmark's record stream bounded to `len` conditional branches,
+/// materialized once per process.
+///
+/// Every caller passing the same `(bench, len)` receives a clone of the
+/// same `Arc` allocation (test this with [`Arc::ptr_eq`]), so the
+/// marginal cost of a repeat lookup is a reference-count bump.
+pub fn materialize(bench: IbsBenchmark, len: u64) -> Arc<[BranchRecord]> {
+    if !is_enabled() {
+        return generate(bench, len);
+    }
+    let key = (bench, len);
+    if let Some(records) = cache().lock().expect("trace cache poisoned").get(&key) {
+        HITS.fetch_add(1, Ordering::Relaxed);
+        return records;
+    }
+    MISSES.fetch_add(1, Ordering::Relaxed);
+    // Generate outside the lock so other keys make progress; on a same-key
+    // race the first insert wins and the loser adopts it (streams are
+    // deterministic, so both allocations hold identical records).
+    let generated = generate(bench, len);
+    let mut guard = cache().lock().expect("trace cache poisoned");
+    if let Some(records) = guard.get(&key) {
+        return records;
+    }
+    guard.insert(key, Arc::clone(&generated));
+    generated
+}
+
+/// An owned iterator over a materialized trace: keeps the `Arc` alive and
+/// yields records by value, so it drops into any `impl Iterator<Item =
+/// BranchRecord>` consumer (the simulation engine, the aliasing
+/// classifiers) without lifetime plumbing.
+#[derive(Debug, Clone)]
+pub struct TraceIter {
+    records: Arc<[BranchRecord]>,
+    next: usize,
+}
+
+impl Iterator for TraceIter {
+    type Item = BranchRecord;
+
+    #[inline]
+    fn next(&mut self) -> Option<BranchRecord> {
+        let record = self.records.get(self.next).copied();
+        self.next += record.is_some() as usize;
+        record
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.records.len() - self.next;
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for TraceIter {}
+
+/// Iterate an already materialized trace from the start.
+pub fn iter(records: Arc<[BranchRecord]>) -> TraceIter {
+    TraceIter { records, next: 0 }
+}
+
+/// [`materialize`] then [`iter`]: a drop-in replacement for
+/// `bench.spec().build().take_conditionals(len)` that shares the
+/// process-wide materialization.
+pub fn stream(bench: IbsBenchmark, len: u64) -> TraceIter {
+    iter(materialize(bench, len))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy_records(n: usize, base_pc: u64) -> Arc<[BranchRecord]> {
+        (0..n)
+            .map(|i| BranchRecord::conditional(base_pc + 4 * i as u64, i % 2 == 0))
+            .collect::<Vec<_>>()
+            .into()
+    }
+
+    #[test]
+    fn lru_evicts_oldest_first() {
+        let record_bytes = std::mem::size_of::<BranchRecord>();
+        let mut lru = LruCache::new(10 * record_bytes);
+        let a = (IbsBenchmark::Groff, 4);
+        let b = (IbsBenchmark::Gs, 4);
+        let c = (IbsBenchmark::Nroff, 4);
+        lru.insert(a, dummy_records(4, 0x1000));
+        lru.insert(b, dummy_records(4, 0x2000));
+        // Touch `a` so `b` is the LRU entry, then overflow.
+        assert!(lru.get(&a).is_some());
+        lru.insert(c, dummy_records(4, 0x3000));
+        assert_eq!(lru.evictions, 1);
+        assert!(lru.get(&a).is_some(), "recently used entry survives");
+        assert!(lru.get(&b).is_none(), "LRU entry was evicted");
+        assert!(lru.get(&c).is_some());
+        assert!(lru.resident_bytes <= lru.capacity_bytes);
+    }
+
+    #[test]
+    fn lru_rejects_oversized_entry() {
+        let record_bytes = std::mem::size_of::<BranchRecord>();
+        let mut lru = LruCache::new(2 * record_bytes);
+        lru.insert((IbsBenchmark::Groff, 100), dummy_records(100, 0));
+        assert_eq!(lru.map.len(), 0);
+        assert_eq!(lru.resident_bytes, 0);
+        assert_eq!(lru.evictions, 0, "nothing resident, nothing evicted");
+    }
+
+    #[test]
+    fn materialize_returns_the_same_allocation() {
+        let first = materialize(IbsBenchmark::Verilog, 3_000);
+        let second = materialize(IbsBenchmark::Verilog, 3_000);
+        assert!(Arc::ptr_eq(&first, &second));
+        let other_len = materialize(IbsBenchmark::Verilog, 3_001);
+        assert!(!Arc::ptr_eq(&first, &other_len));
+    }
+
+    #[test]
+    fn materialized_trace_matches_the_stream() {
+        let len = 2_500;
+        let cached = materialize(IbsBenchmark::Groff, len);
+        let fresh: Vec<BranchRecord> = IbsBenchmark::Groff
+            .spec()
+            .build()
+            .take_conditionals(len)
+            .collect();
+        assert_eq!(&cached[..], &fresh[..]);
+        assert_eq!(
+            cached.iter().filter(|r| r.kind.is_conditional()).count(),
+            len as usize
+        );
+    }
+
+    #[test]
+    fn repeat_lookups_count_hits() {
+        let before = stats();
+        let _ = materialize(IbsBenchmark::MpegPlay, 1_234);
+        let _ = materialize(IbsBenchmark::MpegPlay, 1_234);
+        let after = stats();
+        // Other tests in this binary share the counters, so only assert
+        // monotonic deltas: at least one hit, at least one lookup stored.
+        assert!(after.hits > before.hits);
+        assert!(after.misses >= before.misses);
+        assert!(after.entries >= 1);
+        assert!(after.resident_bytes > 0);
+        assert!(after.hit_ratio() > 0.0);
+    }
+
+    #[test]
+    fn trace_iter_yields_every_record_once() {
+        let records = dummy_records(5, 0x100);
+        let via_iter: Vec<_> = iter(Arc::clone(&records)).collect();
+        assert_eq!(&via_iter[..], &records[..]);
+        let mut it = iter(records);
+        assert_eq!(it.len(), 5);
+        it.next();
+        assert_eq!(it.len(), 4);
+    }
+
+    #[test]
+    fn stream_is_a_drop_in_take_conditionals() {
+        let n = stream(IbsBenchmark::RealGcc, 800)
+            .filter(|r| r.kind.is_conditional())
+            .count();
+        assert_eq!(n, 800);
+    }
+}

@@ -59,8 +59,7 @@ impl Default for BehaviorMix {
 impl BehaviorMix {
     /// Draw one site behaviour.
     pub fn sample(&self, rng: &mut SmallRng) -> Behavior {
-        let total =
-            self.loops + self.strong_bias + self.weak_bias + self.correlated + self.pattern;
+        let total = self.loops + self.strong_bias + self.weak_bias + self.correlated + self.pattern;
         debug_assert!(total > 0.0, "behaviour mix must have positive weight");
         let mut x = rng.gen_range(0.0..total);
         if x < self.loops {
@@ -332,8 +331,8 @@ impl ProgramParams {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::record::BranchKind;
     use crate::program::Walker;
+    use crate::record::BranchKind;
     use std::collections::HashSet;
 
     #[test]

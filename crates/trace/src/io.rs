@@ -157,8 +157,8 @@ pub fn read_text<R: BufRead>(reader: R) -> io::Result<Vec<BranchRecord>> {
         let mut parts = line.split_whitespace();
         let err = |what: &str| invalid(&format!("line {}: {what}", lineno + 1));
         let pc_str = parts.next().ok_or_else(|| err("missing pc"))?;
-        let pc = u64::from_str_radix(pc_str.trim_start_matches("0x"), 16)
-            .map_err(|_| err("bad pc"))?;
+        let pc =
+            u64::from_str_radix(pc_str.trim_start_matches("0x"), 16).map_err(|_| err("bad pc"))?;
         let kind = match parts.next().ok_or_else(|| err("missing kind"))? {
             "conditional" => BranchKind::Conditional,
             "unconditional" => BranchKind::Unconditional,

@@ -266,8 +266,7 @@ mod tests {
         write_compact(&mut buf, sample().into_iter()).unwrap();
         let mut reader = CompactReader::new(buf.as_slice()).unwrap();
         assert_eq!(reader.remaining(), 5);
-        let streamed: Vec<BranchRecord> =
-            reader.by_ref().collect::<io::Result<_>>().unwrap();
+        let streamed: Vec<BranchRecord> = reader.by_ref().collect::<io::Result<_>>().unwrap();
         assert_eq!(streamed, sample());
         assert_eq!(reader.remaining(), 0);
     }

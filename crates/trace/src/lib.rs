@@ -9,6 +9,9 @@
 //! * [`stream`] — the [`stream::TraceSource`] streaming abstraction.
 //! * [`behavior`] — stochastic branch-site behaviour models (bias, loops,
 //!   patterns, history correlation, phases).
+//! * [`cache`] — process-wide memoization of materialized benchmark
+//!   traces (`Arc<[BranchRecord]>` per `(benchmark, len)`), so repeated
+//!   sweeps generate each trace once.
 //! * [`program`] — the synthetic CFG program model and its
 //!   [`program::Walker`].
 //! * [`gen`] — random program generation with Zipf routine frequencies.
@@ -35,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod behavior;
+pub mod cache;
 pub mod gen;
 pub mod io;
 pub mod io2;
@@ -48,6 +52,7 @@ pub mod workload;
 /// Convenient re-exports of the most commonly used items.
 pub mod prelude {
     pub use crate::behavior::Behavior;
+    pub use crate::cache::{materialize, CacheStats};
     pub use crate::gen::{BehaviorMix, ProgramParams};
     pub use crate::mix::MultiProgram;
     pub use crate::program::{Block, Program, Terminator, Walker};

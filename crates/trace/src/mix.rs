@@ -117,9 +117,7 @@ mod tests {
     #[test]
     fn mixing_grows_the_static_working_set() {
         let len = 60_000u64;
-        let solo = TraceStats::collect(
-            IbsBenchmark::Groff.spec().build().take_conditionals(len),
-        );
+        let solo = TraceStats::collect(IbsBenchmark::Groff.spec().build().take_conditionals(len));
         let mix = TraceStats::collect(mixed().take_conditionals(len));
         assert!(
             mix.static_conditional > solo.static_conditional,

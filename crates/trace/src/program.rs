@@ -227,11 +227,8 @@ impl Iterator for Walker {
                 taken,
                 fallthrough,
             } => {
-                let outcome = behavior.next_outcome(
-                    &mut self.states[block_id],
-                    self.history,
-                    &mut self.rng,
-                );
+                let outcome =
+                    behavior.next_outcome(&mut self.states[block_id], self.history, &mut self.rng);
                 (
                     BranchKind::Conditional,
                     outcome,
@@ -299,13 +296,19 @@ mod tests {
         let blocks = vec![branch(0x100, Behavior::Bias { taken_prob: 0.5 }, 0, 7)];
         assert_eq!(
             Program::new(blocks, 0),
-            Err(ProgramError::BadTarget { block: 0, target: 7 })
+            Err(ProgramError::BadTarget {
+                block: 0,
+                target: 7
+            })
         );
         let blocks = vec![Block {
             pc: 0x100,
             terminator: Terminator::Return,
         }];
-        assert_eq!(Program::new(blocks, 3).unwrap_err(), ProgramError::BadEntry(3));
+        assert_eq!(
+            Program::new(blocks, 3).unwrap_err(),
+            ProgramError::BadEntry(3)
+        );
     }
 
     #[test]

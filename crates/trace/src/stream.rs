@@ -124,10 +124,7 @@ mod tests {
         let out: Vec<_> = sample().into_iter().take_conditionals(2).collect();
         // First conditional, the unconditional between, second conditional.
         assert_eq!(out.len(), 3);
-        assert_eq!(
-            out.iter().filter(|r| r.kind.is_conditional()).count(),
-            2
-        );
+        assert_eq!(out.iter().filter(|r| r.kind.is_conditional()).count(), 2);
         assert_eq!(out[1].kind, BranchKind::Unconditional);
     }
 

@@ -195,8 +195,7 @@ impl IbsBenchmark {
         };
 
         const KERNEL_STATIC: usize = 1200;
-        let user_static =
-            (self.paper_static_branches().saturating_sub(KERNEL_STATIC)) / processes;
+        let user_static = (self.paper_static_branches().saturating_sub(KERNEL_STATIC)) / processes;
         let user_programs = (0..processes)
             .map(|p| ProgramParams {
                 base_pc: 0x0040_0000 + 0x0100_0000 * p as u64,
@@ -280,7 +279,10 @@ impl WorkloadSpec {
             .iter()
             .enumerate()
             .map(|(i, params)| {
-                Walker::new(params.generate(self.seed ^ (0xA11CE + i as u64)), self.seed + i as u64)
+                Walker::new(
+                    params.generate(self.seed ^ (0xA11CE + i as u64)),
+                    self.seed + i as u64,
+                )
             })
             .collect();
         let kernel = self.kernel_program.as_ref().map(|params| {

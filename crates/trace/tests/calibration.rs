@@ -71,8 +71,8 @@ fn kernel_share_matches_ibs_character() {
 fn conditional_fraction_is_realistic() {
     for b in IbsBenchmark::all() {
         let s = stats(b);
-        let frac = s.dynamic_conditional as f64
-            / (s.dynamic_conditional + s.dynamic_unconditional) as f64;
+        let frac =
+            s.dynamic_conditional as f64 / (s.dynamic_conditional + s.dynamic_unconditional) as f64;
         assert!(
             (0.5..0.8).contains(&frac),
             "{b}: conditional fraction {frac} out of band \

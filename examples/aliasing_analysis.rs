@@ -45,23 +45,31 @@ fn main() {
     }
 
     // --- substream and bias statistics ----------------------------------
-    let substreams =
-        SubstreamStats::new(history).run(bench.spec().build().take_conditionals(len));
+    let substreams = SubstreamStats::new(history).run(bench.spec().build().take_conditionals(len));
     let bias = BiasStats::new(history).run(bench.spec().build().take_conditionals(len));
-    println!("\ndistinct addresses:        {}", substreams.distinct_addresses());
+    println!(
+        "\ndistinct addresses:        {}",
+        substreams.distinct_addresses()
+    );
     println!("distinct (addr, history):  {}", substreams.distinct_pairs());
-    println!("substream ratio:           {:.2}", substreams.substream_ratio());
-    println!("compulsory aliasing:       {:.3}%", 100.0 * substreams.compulsory_ratio());
+    println!(
+        "substream ratio:           {:.2}",
+        substreams.substream_ratio()
+    );
+    println!(
+        "compulsory aliasing:       {:.3}%",
+        100.0 * substreams.compulsory_ratio()
+    );
     println!("bias b (static taken):     {:.3}", bias.static_bias_taken());
-    println!("majority-agreement bound:  {:.2}%", 100.0 * bias.majority_agreement());
+    println!(
+        "majority-agreement bound:  {:.2}%",
+        100.0 * bias.majority_agreement()
+    );
 
     // --- top interfering branch pairs ------------------------------------
-    let offenders = gskew::aliasing::offenders::OffenderAnalysis::new(
-        12,
-        history,
-        IndexFunction::Gshare,
-    )
-    .run(bench.spec().build().take_conditionals(len));
+    let offenders =
+        gskew::aliasing::offenders::OffenderAnalysis::new(12, history, IndexFunction::Gshare)
+            .run(bench.spec().build().take_conditionals(len));
     println!(
         "\nworst interfering branch pairs in a 4K gshare table \
          ({} aliasing events, {:.1}% self-aliasing):",
@@ -91,6 +99,10 @@ fn main() {
     }
     println!("\nlast-use distance profile (hit ratio of an N-entry FA-LRU table):");
     for n in [256u64, 1024, 4096, 16384, 65536] {
-        println!("  N = {:>6}: {:>6.2}%", n, 100.0 * histogram.hit_ratio_at(n));
+        println!(
+            "  N = {:>6}: {:>6.2}%",
+            n,
+            100.0 * histogram.hit_ratio_at(n)
+        );
     }
 }

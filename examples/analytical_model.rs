@@ -27,7 +27,10 @@ fn main() {
     println!("\ncrossover last-use distance (3x(N/3) skewed vs N-entry DM):");
     for n in [12_288u64, 49_152, 196_608] {
         let d = crossover_distance(n);
-        println!("  N = {n:>7}: D* = {d:>6}  (D*/N = {:.3})", d as f64 / n as f64);
+        println!(
+            "  N = {n:>7}: D* = {d:>6}  (D*/N = {:.3})",
+            d as f64 / n as f64
+        );
     }
 
     // --- figure 11: extrapolation vs simulation --------------------------
@@ -47,10 +50,9 @@ fn main() {
             bench.spec().build().take_conditionals(len),
             bench.spec().build().take_conditionals(len),
         );
-        let mut sim = gskew::core::spec::parse_spec(&format!(
-            "gskew:n={bank_log2},h=4,ctr=1,update=total"
-        ))
-        .expect("valid spec");
+        let mut sim =
+            gskew::core::spec::parse_spec(&format!("gskew:n={bank_log2},h=4,ctr=1,update=total"))
+                .expect("valid spec");
         let measured = engine::run(&mut sim, bench.spec().build().take_conditionals(len));
         println!(
             "{:>10} {:>8.3} {:>11.2}% {:>11.2}% {:>11.2}%",

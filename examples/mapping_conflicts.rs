@@ -49,9 +49,7 @@ fn main() {
                     // Conflicting under `func` — count skewed banks where
                     // they also collide.
                     let shared = (0..3)
-                        .filter(|&b| {
-                            skew_index(b, v.packed(), n) == skew_index(b, w.packed(), n)
-                        })
+                        .filter(|&b| skew_index(b, v.packed(), n) == skew_index(b, w.packed(), n))
                         .count();
                     println!(
                         "{func}: {v} and {w} share an entry; \

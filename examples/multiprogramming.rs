@@ -48,15 +48,14 @@ fn main() {
             .iter()
             .map(|&bench| {
                 let mut p = parse_spec(spec).expect("valid spec");
-                engine::run(&mut p, bench.spec().build().take_conditionals(len))
-                    .mispredict_pct()
+                engine::run(&mut p, bench.spec().build().take_conditionals(len)).mispredict_pct()
             })
             .sum::<f64>()
             / mix.len() as f64;
 
         let mut predictor = parse_spec(spec).expect("valid spec");
-        let mixed = MultiProgram::new(mix.iter().map(|b| b.spec()).collect(), slice)
-            .take_conditionals(len);
+        let mixed =
+            MultiProgram::new(mix.iter().map(|b| b.spec()).collect(), slice).take_conditionals(len);
         let mixed_pct = engine::run(&mut predictor, mixed).mispredict_pct();
 
         println!(

@@ -44,7 +44,10 @@ fn main() -> Result<(), ConfigError> {
     let pc = 0x0040_2000;
     let votes = gskew.votes(pc);
     for (bank, vote) in votes.iter().enumerate() {
-        println!("  bank {bank} (index {:>4}): {vote}", gskew.bank_index(bank, pc));
+        println!(
+            "  bank {bank} (index {:>4}): {vote}",
+            gskew.bank_index(bank, pc)
+        );
     }
     println!("  majority: {}", gskew.predict(pc));
     Ok(())

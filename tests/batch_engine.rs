@@ -1,0 +1,65 @@
+//! The batched engine contract: `engine::run_many` over a materialized
+//! trace must be bit-identical to running each predictor alone with
+//! `engine::run_with` — for every predictor family and both novel-branch
+//! accounting policies — and the trace cache must hand out the same
+//! allocation for repeated materializations of the same key.
+
+use gskew::core::spec::parse_spec;
+use gskew::sim::engine::{self, NovelPolicy};
+use gskew::trace::cache;
+use gskew::trace::prelude::*;
+
+/// One spec per predictor family the spec language exposes.
+const FAMILY_SPECS: &[&str] = &[
+    "gshare:n=8,h=4",
+    "gselect:n=8,h=4",
+    "bimodal:n=8",
+    "gskew:n=8,h=4",
+    "egskew:n=8,h=8",
+    "mcfarling:n=8,h=6",
+    "agree:n=13,h=8,bias=12",
+    "bimode:n=12,h=8,choice=12",
+];
+
+fn assert_batch_matches_sequential(specs: &[&str], policy: NovelPolicy) {
+    let bench = IbsBenchmark::Verilog;
+    let len = 25_000;
+    let trace = cache::materialize(bench, len);
+
+    let mut batch: Vec<_> = specs.iter().map(|s| parse_spec(s).unwrap()).collect();
+    let batched = engine::run_many(&mut batch, &trace, policy);
+
+    for (spec, got) in specs.iter().zip(batched) {
+        let mut alone = parse_spec(spec).unwrap();
+        let want = engine::run_with(&mut alone, cache::iter(trace.clone()), policy);
+        assert_eq!(got, want, "run_many diverged from run_with for {spec}");
+    }
+}
+
+#[test]
+fn run_many_matches_run_with_for_every_family() {
+    assert_batch_matches_sequential(FAMILY_SPECS, NovelPolicy::Count);
+}
+
+#[test]
+fn run_many_matches_run_with_under_exclude_policy() {
+    // `ideal` and `falru` report novel branches, so Exclude actually
+    // changes their accounting; the aliased families must agree too.
+    let specs = ["ideal:h=6", "falru:cap=256,h=4", "gskew:n=8,h=4"];
+    assert_batch_matches_sequential(&specs, NovelPolicy::Exclude);
+}
+
+#[test]
+fn cache_returns_the_same_allocation_per_key() {
+    let bench = IbsBenchmark::Groff;
+    let len = 12_000;
+    let a = cache::materialize(bench, len);
+    let b = cache::materialize(bench, len);
+    assert!(
+        std::sync::Arc::ptr_eq(&a, &b),
+        "two materializations of one (benchmark, len) key must share storage"
+    );
+    // Different keys must not share.
+    let c = cache::materialize(bench, len + 1);
+    assert!(!std::sync::Arc::ptr_eq(&a, &c));
+}

@@ -24,8 +24,7 @@ fn spec_predictor_equals_direct_construction() {
 fn replayed_trace_file_gives_identical_results() {
     let len = 20_000;
     let bench = IbsBenchmark::Nroff;
-    let records: Vec<BranchRecord> =
-        bench.spec().build().take_conditionals(len).collect();
+    let records: Vec<BranchRecord> = bench.spec().build().take_conditionals(len).collect();
 
     let mut buf = Vec::new();
     write_binary(&mut buf, records.iter().copied()).unwrap();

@@ -21,7 +21,11 @@ fn every_experiment_runs_and_renders() {
         assert_eq!(output.id, id);
         assert!(!output.tables.is_empty(), "{id}: no tables");
         for table in &output.tables {
-            assert!(!table.rows().is_empty(), "{id}: empty table {}", table.title());
+            assert!(
+                !table.rows().is_empty(),
+                "{id}: empty table {}",
+                table.title()
+            );
             assert!(table.columns().len() >= 2, "{id}: degenerate table");
         }
         let rendered = output.render();

@@ -18,7 +18,11 @@ fn pct(spec: &str, bench: IbsBenchmark) -> f64 {
 }
 
 fn mean_pct(spec: &str) -> f64 {
-    IbsBenchmark::all().iter().map(|&b| pct(spec, b)).sum::<f64>() / 6.0
+    IbsBenchmark::all()
+        .iter()
+        .map(|&b| pct(spec, b))
+        .sum::<f64>()
+        / 6.0
 }
 
 /// Figure 12's storage claim: 3x4K e-gskew performs like a 32K gshare at

@@ -45,9 +45,18 @@ fn fig9_render_is_stable() {
     let out = experiments::run("fig9", &ExperimentOpts::quick()).expect("fig9 exists");
     let rendered = out.render();
     // Spot-pin header and two rows (full numeric table is checked above).
-    assert!(rendered.contains("0.050  0.02500        0.00184"), "{rendered}");
-    assert!(rendered.contains("1.000  0.50000        0.50000"), "{rendered}");
-    assert!(rendered.contains("196608             20650        0.105"), "{rendered}");
+    assert!(
+        rendered.contains("0.050  0.02500        0.00184"),
+        "{rendered}"
+    );
+    assert!(
+        rendered.contains("1.000  0.50000        0.50000"),
+        "{rendered}"
+    );
+    assert!(
+        rendered.contains("196608             20650        0.105"),
+        "{rendered}"
+    );
     // Byte-for-byte deterministic.
     let again = experiments::run("fig9", &ExperimentOpts::quick())
         .expect("fig9 exists")

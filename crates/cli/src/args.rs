@@ -15,7 +15,19 @@ pub struct Args {
 /// Option names that take a value; everything else starting with `--` is
 /// a boolean flag.
 const VALUED: &[&str] = &[
-    "len", "threads", "bench", "pred", "out", "format", "file", "history", "windows",
+    "len",
+    "threads",
+    "bench",
+    "pred",
+    "out",
+    "format",
+    "file",
+    "history",
+    "windows",
+    "seed",
+    "tol",
+    "results-dir",
+    "budget",
 ];
 
 impl Args {
@@ -54,7 +66,8 @@ impl Args {
         self.options.get(name).map(String::as_str)
     }
 
-    /// Parsed numeric value of `--name`.
+    /// Parsed numeric value of `--name`. Accepts decimal or `0x`-prefixed
+    /// hexadecimal (seeds read naturally either way).
     ///
     /// # Errors
     ///
@@ -62,10 +75,30 @@ impl Args {
     pub fn option_u64(&self, name: &str) -> Result<Option<u64>, String> {
         match self.option(name) {
             None => Ok(None),
+            Some(v) => {
+                let parsed = match v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+                    Some(hex) => u64::from_str_radix(hex, 16),
+                    None => v.parse(),
+                };
+                parsed
+                    .map(Some)
+                    .map_err(|_| format!("--{name} expects an integer, got `{v}`"))
+            }
+        }
+    }
+
+    /// Parsed floating-point value of `--name`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the value does not parse.
+    pub fn option_f64(&self, name: &str) -> Result<Option<f64>, String> {
+        match self.option(name) {
+            None => Ok(None),
             Some(v) => v
                 .parse()
                 .map(Some)
-                .map_err(|_| format!("--{name} expects an integer, got `{v}`")),
+                .map_err(|_| format!("--{name} expects a number, got `{v}`")),
         }
     }
 
@@ -109,5 +142,21 @@ mod tests {
     fn valued_option_values_may_look_like_flags() {
         let a = parse("run --pred gskew:n=12,h=8");
         assert_eq!(a.option("pred"), Some("gskew:n=12,h=8"));
+    }
+
+    #[test]
+    fn seeds_parse_in_decimal_and_hex() {
+        let a = parse("run --seed 0x5EED0000");
+        assert_eq!(a.option_u64("seed").unwrap(), Some(0x5EED_0000));
+        let a = parse("run --seed 1234");
+        assert_eq!(a.option_u64("seed").unwrap(), Some(1234));
+        assert!(parse("run --seed 0xZZ").option_u64("seed").is_err());
+    }
+
+    #[test]
+    fn tolerances_parse_as_floats() {
+        let a = parse("campaign diff a b --tol 0.25");
+        assert_eq!(a.option_f64("tol").unwrap(), Some(0.25));
+        assert!(parse("x --tol wide").option_f64("tol").is_err());
     }
 }

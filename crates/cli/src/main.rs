@@ -1,641 +1,7 @@
-//! `bpsim` — command-line driver for the gskew reproduction.
-//!
-//! ```text
-//! bpsim list                                  available experiments & workloads
-//! bpsim experiment <id|all> [--len N] [--quick] [--csv] [--out DIR]
-//! bpsim run --pred <spec> [--bench <name>] [--len N] [--windows N]
-//! bpsim compare <spec> <spec> ... [--bench <name>] [--len N]
-//! bpsim duel <specA> <specB> [--bench <name>] [--len N]
-//! bpsim sweep --pred <spec-with-{h}> [--bench <name>] [--len N]
-//! bpsim trace gen --bench <name> --len N --out FILE [--format bin|text|compact]
-//! bpsim trace info --file FILE [--format bin|text|compact]
-//! ```
+//! `bpsim` binary: a thin wrapper around [`bpred_cli::cli_main`].
 
-mod args;
-
-use args::Args;
-use bpred_core::spec::parse_spec;
-use bpred_sim::engine;
-use bpred_sim::experiments::{self, ExperimentOpts};
-use bpred_trace::cache as trace_cache;
-use bpred_trace::io as trace_io;
-use bpred_trace::io2 as trace_io2;
-use bpred_trace::stats::TraceStats;
-use bpred_trace::stream::TraceSourceExt;
-use bpred_trace::workload::IbsBenchmark;
-use std::fs::File;
-use std::io::{BufReader, BufWriter, Write};
 use std::process::ExitCode;
 
-const USAGE: &str = "\
-bpsim — skewed branch predictor reproduction (Michaud/Seznec/Uhlig, ISCA'97)
-
-USAGE:
-  bpsim list
-  bpsim experiment <id|all> [--len N] [--threads T] [--quick] [--csv] [--out DIR]
-  bpsim run --pred <spec> [--bench <name>] [--len N] [--windows N]
-  bpsim compare <spec> <spec> ... [--bench <name>] [--len N]
-  bpsim duel <specA> <specB> [--bench <name>] [--len N]
-  bpsim sweep --pred <spec with {h}> [--bench <name>] [--len N]
-  bpsim trace gen --bench <name> --len N --out FILE [--format bin|text|compact]
-  bpsim trace info --file FILE [--format bin|text|compact]
-
-Global options:
-  --no-trace-cache   regenerate workload streams on every use instead of
-                     memoizing materialized traces (streaming memory profile)
-  --verbose          print a trace-cache summary (hits/misses/resident bytes)
-                     after the command
-
-Predictor specs:
-  gshare:n=14,h=12 | gselect:n=12,h=6 | bimodal:n=14
-  gskew:n=12,h=8[,banks=5][,update=total][,skew=off] | egskew:n=12,h=11
-  shgskew:n=12,h=8 (shared hysteresis)  | 2bcgskew:n=12,h=12 (EV8-style)
-  agree:n=13,h=8,bias=12 | bimode:n=12,h=8,choice=12 | mcfarling:n=12,h=10
-  pas:bht=10,l=8,n=12 | spas:bht=10,l=8,n=10 (per-address)
-  ideal:h=12 | falru:cap=4096,h=4 | setassoc:n=10,ways=4,h=4
-  always-taken | always-nottaken
-";
-
 fn main() -> ExitCode {
-    let raw: Vec<String> = std::env::args().skip(1).collect();
-    match dispatch(raw) {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("bpsim: {msg}");
-            ExitCode::FAILURE
-        }
-    }
-}
-
-fn dispatch(raw: Vec<String>) -> Result<(), String> {
-    let args = Args::parse(raw)?;
-    if args.flag("no-trace-cache") {
-        // Process-global and single-threaded here: `main` is the only
-        // caller that may flip the cache switch.
-        trace_cache::set_enabled(false);
-    }
-    let result = match args.positional(0) {
-        None | Some("help") => {
-            print!("{USAGE}");
-            Ok(())
-        }
-        Some("list") => cmd_list(),
-        Some("experiment") => cmd_experiment(&args),
-        Some("run") => cmd_run(&args),
-        Some("compare") => cmd_compare(&args),
-        Some("duel") => cmd_duel(&args),
-        Some("sweep") => cmd_sweep(&args),
-        Some("trace") => cmd_trace(&args),
-        Some(other) => Err(format!("unknown command `{other}`; try `bpsim help`")),
-    };
-    if result.is_ok() && args.flag("verbose") {
-        print_cache_summary();
-    }
-    result
-}
-
-fn print_cache_summary() {
-    if !trace_cache::is_enabled() {
-        eprintln!("trace cache: disabled (--no-trace-cache); every stream regenerated");
-        return;
-    }
-    let stats = trace_cache::stats();
-    eprintln!(
-        "trace cache: {} hits / {} misses ({:.0}% hit), {} evictions, \
-         {} traces resident ({:.1} MiB)",
-        stats.hits,
-        stats.misses,
-        100.0 * stats.hit_ratio(),
-        stats.evictions,
-        stats.entries,
-        stats.resident_bytes as f64 / (1 << 20) as f64,
-    );
-}
-
-fn cmd_list() -> Result<(), String> {
-    println!("experiments:");
-    for id in experiments::ALL_IDS {
-        println!("  {id}");
-    }
-    println!("\nworkloads (synthetic IBS):");
-    for b in IbsBenchmark::all() {
-        println!(
-            "  {:<10} default len {:>8}  (paper: {} dynamic / {} static)",
-            b.name(),
-            b.default_len(),
-            b.paper_dynamic_branches(),
-            b.paper_static_branches()
-        );
-    }
-    Ok(())
-}
-
-fn opts_from(args: &Args) -> Result<ExperimentOpts, String> {
-    let mut opts = ExperimentOpts {
-        len_override: args.option_u64("len")?,
-        ..ExperimentOpts::default()
-    };
-    if let Some(threads) = args.option_u64("threads")? {
-        opts.threads = threads.max(1) as usize;
-    }
-    opts.quick = args.flag("quick");
-    Ok(opts)
-}
-
-fn cmd_experiment(args: &Args) -> Result<(), String> {
-    let id = args
-        .positional(1)
-        .ok_or("experiment needs an id; try `bpsim list`")?;
-    let opts = opts_from(args)?;
-    let ids: Vec<&str> = if id == "all" {
-        experiments::ALL_IDS.to_vec()
-    } else {
-        vec![id]
-    };
-    let out_dir = args.option("out").map(std::path::PathBuf::from);
-    if let Some(dir) = &out_dir {
-        std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
-    }
-    for id in ids {
-        let output = experiments::run(id, &opts)
-            .ok_or_else(|| format!("unknown experiment `{id}`; try `bpsim list`"))?;
-        if let Some(dir) = &out_dir {
-            // One CSV per table, named <id>-<index>.csv, plus the rendered
-            // text report as <id>.txt.
-            for (i, table) in output.tables.iter().enumerate() {
-                let path = dir.join(format!("{id}-{i}.csv"));
-                std::fs::write(&path, table.to_csv())
-                    .map_err(|e| format!("write {}: {e}", path.display()))?;
-            }
-            let path = dir.join(format!("{id}.txt"));
-            std::fs::write(&path, output.render())
-                .map_err(|e| format!("write {}: {e}", path.display()))?;
-            println!(
-                "{id}: wrote {} tables to {}",
-                output.tables.len(),
-                dir.display()
-            );
-        } else if args.flag("csv") {
-            for table in &output.tables {
-                println!("# {} — {}", output.id, table.title());
-                print!("{}", table.to_csv());
-                println!();
-            }
-        } else {
-            print!("{}", output.render());
-        }
-    }
-    Ok(())
-}
-
-fn benches_from(args: &Args) -> Result<Vec<IbsBenchmark>, String> {
-    match args.option("bench") {
-        None | Some("all") => Ok(IbsBenchmark::all().to_vec()),
-        Some(name) => IbsBenchmark::from_name(name)
-            .map(|b| vec![b])
-            .ok_or_else(|| format!("unknown benchmark `{name}`")),
-    }
-}
-
-fn cmd_run(args: &Args) -> Result<(), String> {
-    let spec = args.option("pred").ok_or("run needs --pred <spec>")?;
-    // Validate the spec once up front for a friendly error.
-    parse_spec(spec).map_err(|e| e.to_string())?;
-    let benches = benches_from(args)?;
-    let len_override = args.option_u64("len")?;
-    if let Some(windows) = args.option_u64("windows")? {
-        if windows == 0 {
-            return Err("--windows must be nonzero".into());
-        }
-        // Phase view: one ASCII chart of windowed misprediction rates
-        // per benchmark.
-        for bench in benches {
-            let len = len_override.unwrap_or_else(|| bench.default_len());
-            let window = (len / windows).max(1);
-            let mut predictor = parse_spec(spec).map_err(|e| e.to_string())?;
-            let rates = engine::run_windowed(
-                &mut predictor,
-                trace_cache::stream(bench, len),
-                window,
-                engine::NovelPolicy::Count,
-            );
-            println!(
-                "{} — {} ({} windows of {} branches, mispredict %):",
-                bench.name(),
-                predictor.name(),
-                rates.len(),
-                window
-            );
-            print!("{}", bpred_sim::report::ascii_chart(&rates, 10));
-            println!();
-        }
-        return Ok(());
-    }
-    println!(
-        "{:<12} {:>12} {:>12} {:>10}",
-        "benchmark", "branches", "mispredict", "%"
-    );
-    for bench in benches {
-        let len = len_override.unwrap_or_else(|| bench.default_len());
-        let mut predictor = parse_spec(spec).map_err(|e| e.to_string())?;
-        let result = engine::run(&mut predictor, trace_cache::stream(bench, len));
-        println!(
-            "{:<12} {:>12} {:>12} {:>9.2}%",
-            bench.name(),
-            result.conditional,
-            result.mispredicted,
-            result.mispredict_pct()
-        );
-    }
-    Ok(())
-}
-
-fn cmd_compare(args: &Args) -> Result<(), String> {
-    let mut specs = Vec::new();
-    let mut i = 1;
-    while let Some(spec) = args.positional(i) {
-        parse_spec(spec).map_err(|e| format!("{spec}: {e}"))?;
-        specs.push(spec.to_string());
-        i += 1;
-    }
-    if specs.is_empty() {
-        return Err("compare needs at least one predictor spec".into());
-    }
-    let benches = benches_from(args)?;
-    let len_override = args.option_u64("len")?;
-    print!("{:<40} {:>9}", "predictor", "bits");
-    for b in &benches {
-        print!(" {:>10}", b.name());
-    }
-    println!(" {:>10}", "mean");
-    // One materialized trace per benchmark, every spec driven over it in
-    // a single batched pass.
-    let mut per_spec_pcts = vec![Vec::new(); specs.len()];
-    for &bench in &benches {
-        let len = len_override.unwrap_or_else(|| bench.default_len());
-        let trace = trace_cache::materialize(bench, len);
-        let mut predictors = specs
-            .iter()
-            .map(|spec| parse_spec(spec).map_err(|e| e.to_string()))
-            .collect::<Result<Vec<_>, _>>()?;
-        let results = engine::run_many(&mut predictors, &trace, engine::NovelPolicy::Count);
-        for (pcts, result) in per_spec_pcts.iter_mut().zip(results) {
-            pcts.push(result.mispredict_pct());
-        }
-    }
-    for (spec, cells) in specs.iter().zip(per_spec_pcts) {
-        let predictor = parse_spec(spec).map_err(|e| e.to_string())?;
-        print!("{:<40} {:>9}", predictor.name(), predictor.storage_bits());
-        for c in &cells {
-            print!(" {:>9.2}%", c);
-        }
-        println!(
-            " {:>9.2}%",
-            cells.iter().sum::<f64>() / benches.len() as f64
-        );
-    }
-    Ok(())
-}
-
-fn cmd_duel(args: &Args) -> Result<(), String> {
-    use bpred_sim::duel::duel;
-    use bpred_sim::engine::NovelPolicy;
-    let spec_a = args.positional(1).ok_or("duel needs two predictor specs")?;
-    let spec_b = args.positional(2).ok_or("duel needs two predictor specs")?;
-    parse_spec(spec_a).map_err(|e| format!("{spec_a}: {e}"))?;
-    parse_spec(spec_b).map_err(|e| format!("{spec_b}: {e}"))?;
-    let benches = benches_from(args)?;
-    let len_override = args.option_u64("len")?;
-    println!(
-        "A = {spec_a}\nB = {spec_b}\n\n{:<12} {:>8} {:>8} {:>9} {:>9} {:>8}  verdict",
-        "benchmark", "A %", "B %", "only A x", "only B x", "z"
-    );
-    for bench in benches {
-        let len = len_override.unwrap_or_else(|| bench.default_len());
-        let mut a = parse_spec(spec_a).map_err(|e| e.to_string())?;
-        let mut b = parse_spec(spec_b).map_err(|e| e.to_string())?;
-        let r = duel(
-            &mut a,
-            &mut b,
-            bench.spec().build().take_conditionals(len),
-            NovelPolicy::Count,
-        );
-        let verdict = if r.b_significantly_better() {
-            "B wins (p < 0.01)"
-        } else if r.a_significantly_better() {
-            "A wins (p < 0.01)"
-        } else {
-            "no significant difference"
-        };
-        println!(
-            "{:<12} {:>7.2}% {:>7.2}% {:>9} {:>9} {:>8.2}  {verdict}",
-            bench.name(),
-            r.a_pct(),
-            r.b_pct(),
-            r.only_a_wrong,
-            r.only_b_wrong,
-            r.mcnemar_z()
-        );
-    }
-    Ok(())
-}
-
-fn cmd_sweep(args: &Args) -> Result<(), String> {
-    let template = args
-        .option("pred")
-        .ok_or("sweep needs --pred <spec containing `{h}`>, e.g. gskew:n=12,h={h}")?;
-    if !template.contains("{h}") {
-        return Err("the sweep spec must contain the `{h}` placeholder".into());
-    }
-    let benches = benches_from(args)?;
-    let len_override = args.option_u64("len")?;
-    print!("{:<4}", "h");
-    for b in &benches {
-        print!(" {:>10}", b.name());
-    }
-    println!();
-    const HISTORIES: std::ops::RangeInclusive<u32> = 0..=16;
-    // All 17 history lengths ride one pass per benchmark: materialize the
-    // trace once and drive the whole predictor column together.
-    let mut columns = Vec::new();
-    for &bench in &benches {
-        let len = len_override.unwrap_or_else(|| bench.default_len());
-        let trace = trace_cache::materialize(bench, len);
-        let mut predictors = HISTORIES
-            .map(|h| {
-                let spec = template.replace("{h}", &h.to_string());
-                parse_spec(&spec).map_err(|e| e.to_string())
-            })
-            .collect::<Result<Vec<_>, _>>()?;
-        columns.push(engine::run_many(
-            &mut predictors,
-            &trace,
-            engine::NovelPolicy::Count,
-        ));
-    }
-    for (row, h) in HISTORIES.enumerate() {
-        print!("{h:<4}");
-        for column in &columns {
-            print!(" {:>9.2}%", column[row].mispredict_pct());
-        }
-        println!();
-    }
-    Ok(())
-}
-
-fn cmd_trace(args: &Args) -> Result<(), String> {
-    match args.positional(1) {
-        Some("gen") => {
-            let bench_name = args.option("bench").ok_or("trace gen needs --bench")?;
-            let bench = IbsBenchmark::from_name(bench_name)
-                .ok_or_else(|| format!("unknown benchmark `{bench_name}`"))?;
-            let len = args
-                .option_u64("len")?
-                .unwrap_or_else(|| bench.default_len().min(1_000_000));
-            let out = args.option("out").ok_or("trace gen needs --out FILE")?;
-            let records = bench.spec().build().take_conditionals(len);
-            let file = File::create(out).map_err(|e| format!("create {out}: {e}"))?;
-            let mut writer = BufWriter::new(file);
-            let written = match args.option("format").unwrap_or("bin") {
-                "bin" => trace_io::write_binary(&mut writer, records),
-                "text" => trace_io::write_text(&mut writer, records),
-                "compact" => trace_io2::write_compact(&mut writer, records),
-                other => return Err(format!("unknown format `{other}` (bin|text|compact)")),
-            }
-            .map_err(|e| format!("write {out}: {e}"))?;
-            writer.flush().map_err(|e| format!("flush {out}: {e}"))?;
-            println!("wrote {written} records to {out}");
-            Ok(())
-        }
-        Some("info") => {
-            let path = args.option("file").ok_or("trace info needs --file FILE")?;
-            let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
-            let records = match args.option("format").unwrap_or("bin") {
-                "bin" => trace_io::read_binary(BufReader::new(file)),
-                "text" => trace_io::read_text(BufReader::new(file)),
-                "compact" => trace_io2::read_compact(BufReader::new(file)),
-                other => return Err(format!("unknown format `{other}` (bin|text|compact)")),
-            }
-            .map_err(|e| format!("read {path}: {e}"))?;
-            let stats = TraceStats::collect(records.into_iter());
-            println!("records:               {}", stats.total_records);
-            println!("dynamic conditional:   {}", stats.dynamic_conditional);
-            println!("static conditional:    {}", stats.static_conditional);
-            println!("dynamic unconditional: {}", stats.dynamic_unconditional);
-            println!("taken ratio:           {:.4}", stats.taken_ratio());
-            println!("kernel ratio:          {:.4}", stats.kernel_ratio());
-            Ok(())
-        }
-        _ => Err("trace needs a subcommand: gen | info".into()),
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn unknown_command_errors() {
-        let e = dispatch(vec!["frobnicate".into()]).unwrap_err();
-        assert!(e.contains("unknown command"));
-    }
-
-    #[test]
-    fn run_requires_pred() {
-        let e = dispatch(vec!["run".into()]).unwrap_err();
-        assert!(e.contains("--pred"));
-    }
-
-    #[test]
-    fn run_rejects_bad_spec() {
-        let e = dispatch(vec!["run".into(), "--pred".into(), "tage:n=1".into()]).unwrap_err();
-        assert!(e.contains("unknown predictor"));
-    }
-
-    #[test]
-    fn sweep_requires_placeholder() {
-        let e = dispatch(vec![
-            "sweep".into(),
-            "--pred".into(),
-            "gshare:n=10,h=4".into(),
-        ])
-        .unwrap_err();
-        assert!(e.contains("{h}"));
-    }
-
-    #[test]
-    fn experiment_requires_known_id() {
-        let e = dispatch(vec!["experiment".into(), "fig99".into()]).unwrap_err();
-        assert!(e.contains("unknown experiment"));
-    }
-
-    #[test]
-    fn list_and_help_work() {
-        dispatch(vec!["list".into()]).unwrap();
-        dispatch(vec!["help".into()]).unwrap();
-        dispatch(vec![]).unwrap();
-    }
-
-    #[test]
-    fn compact_trace_roundtrip_through_files() {
-        let dir = std::env::temp_dir().join("bpsim-test-compact");
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("t.bpt2");
-        let path_str = path.to_str().unwrap().to_string();
-        dispatch(vec![
-            "trace".into(),
-            "gen".into(),
-            "--bench".into(),
-            "verilog".into(),
-            "--len".into(),
-            "2000".into(),
-            "--out".into(),
-            path_str.clone(),
-            "--format".into(),
-            "compact".into(),
-        ])
-        .unwrap();
-        dispatch(vec![
-            "trace".into(),
-            "info".into(),
-            "--file".into(),
-            path_str,
-            "--format".into(),
-            "compact".into(),
-        ])
-        .unwrap();
-    }
-
-    #[test]
-    fn trace_roundtrip_through_files() {
-        let dir = std::env::temp_dir().join("bpsim-test");
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("t.bpt");
-        let path_str = path.to_str().unwrap().to_string();
-        dispatch(vec![
-            "trace".into(),
-            "gen".into(),
-            "--bench".into(),
-            "verilog".into(),
-            "--len".into(),
-            "2000".into(),
-            "--out".into(),
-            path_str.clone(),
-        ])
-        .unwrap();
-        dispatch(vec![
-            "trace".into(),
-            "info".into(),
-            "--file".into(),
-            path_str,
-        ])
-        .unwrap();
-    }
-
-    #[test]
-    fn quick_experiment_runs() {
-        dispatch(vec!["experiment".into(), "fig9".into(), "--quick".into()]).unwrap();
-        dispatch(vec!["experiment".into(), "fig3".into(), "--csv".into()]).unwrap();
-    }
-
-    #[test]
-    fn experiment_out_dir_writes_files() {
-        let dir = std::env::temp_dir().join("bpsim-out-test");
-        let _ = std::fs::remove_dir_all(&dir);
-        dispatch(vec![
-            "experiment".into(),
-            "fig3".into(),
-            "--out".into(),
-            dir.to_str().unwrap().into(),
-        ])
-        .unwrap();
-        assert!(dir.join("fig3.txt").exists());
-        assert!(dir.join("fig3-0.csv").exists());
-        std::fs::remove_dir_all(&dir).unwrap();
-    }
-
-    #[test]
-    fn duel_needs_two_specs() {
-        let e = dispatch(vec!["duel".into(), "gshare:n=8".into()]).unwrap_err();
-        assert!(e.contains("two predictor specs"));
-    }
-
-    #[test]
-    fn duel_runs() {
-        dispatch(vec![
-            "duel".into(),
-            "gshare:n=8,h=4".into(),
-            "gskew:n=8,h=4".into(),
-            "--bench".into(),
-            "verilog".into(),
-            "--len".into(),
-            "5000".into(),
-        ])
-        .unwrap();
-    }
-
-    #[test]
-    fn compare_needs_specs() {
-        let e = dispatch(vec!["compare".into()]).unwrap_err();
-        assert!(e.contains("at least one"));
-    }
-
-    #[test]
-    fn compare_rejects_bad_spec() {
-        let e = dispatch(vec!["compare".into(), "tage:n=2".into()]).unwrap_err();
-        assert!(e.contains("unknown predictor"));
-    }
-
-    #[test]
-    fn compare_runs_two_specs() {
-        dispatch(vec![
-            "compare".into(),
-            "gshare:n=8,h=4".into(),
-            "gskew:n=8,h=4".into(),
-            "--bench".into(),
-            "verilog".into(),
-            "--len".into(),
-            "3000".into(),
-        ])
-        .unwrap();
-    }
-
-    #[test]
-    fn run_windowed_chart() {
-        dispatch(vec![
-            "run".into(),
-            "--pred".into(),
-            "gshare:n=8,h=4".into(),
-            "--bench".into(),
-            "verilog".into(),
-            "--len".into(),
-            "6000".into(),
-            "--windows".into(),
-            "6".into(),
-        ])
-        .unwrap();
-        let e = dispatch(vec![
-            "run".into(),
-            "--pred".into(),
-            "gshare:n=8,h=4".into(),
-            "--windows".into(),
-            "0".into(),
-        ])
-        .unwrap_err();
-        assert!(e.contains("nonzero"));
-    }
-
-    #[test]
-    fn run_on_one_bench() {
-        dispatch(vec![
-            "run".into(),
-            "--pred".into(),
-            "gskew:n=8,h=4".into(),
-            "--bench".into(),
-            "verilog".into(),
-            "--len".into(),
-            "5000".into(),
-        ])
-        .unwrap();
-    }
+    bpred_cli::cli_main()
 }

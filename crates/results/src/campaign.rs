@@ -1,0 +1,430 @@
+//! Campaign artifacts and regression diffing.
+//!
+//! A *campaign* is a named set of experiments run as one unit; its
+//! artifact (`campaign.json`) captures every result table cell so two
+//! artifacts — a committed baseline and a fresh candidate — can be
+//! compared cell by cell. Numeric cells are compared under an absolute
+//! tolerance; non-numeric cells (labels) must match exactly; structural
+//! drift (missing experiments, tables or rows) is always a regression.
+
+use crate::json::Json;
+use std::fmt;
+
+/// One result table inside a campaign artifact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableData {
+    /// The table's title.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Data rows (cells as rendered strings, e.g. `"4.02"`).
+    pub rows: Vec<Vec<String>>,
+}
+
+/// One experiment's tables inside a campaign artifact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentData {
+    /// Experiment id (`fig5`, `table2`, …).
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// The experiment's tables in emission order.
+    pub tables: Vec<TableData>,
+}
+
+/// A complete campaign artifact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignArtifact {
+    /// Campaign name (`quick`, …).
+    pub name: String,
+    /// Engine version that produced it.
+    pub engine_version: String,
+    /// Workload seed base the campaign ran with.
+    pub seed: u64,
+    /// The experiments, in run order.
+    pub experiments: Vec<ExperimentData>,
+}
+
+impl CampaignArtifact {
+    /// Serialize the artifact.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", Json::Str(self.name.clone())),
+            ("engine_version", Json::Str(self.engine_version.clone())),
+            ("seed", Json::Str(crate::fingerprint::to_hex(self.seed))),
+            (
+                "experiments",
+                Json::Arr(
+                    self.experiments
+                        .iter()
+                        .map(|e| {
+                            Json::obj(vec![
+                                ("id", Json::Str(e.id.clone())),
+                                ("title", Json::Str(e.title.clone())),
+                                (
+                                    "tables",
+                                    Json::Arr(e.tables.iter().map(table_to_json).collect()),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Serialize with one experiment per line — still valid JSON, but
+    /// diffable in review.
+    pub fn to_pretty_string(&self) -> String {
+        // Render compactly then add line breaks between experiments: the
+        // artifact is machine-diffed, the breaks are purely for humans.
+        self.to_json()
+            .to_string_compact()
+            .replace("},{\"id\":", "},\n{\"id\":")
+            + "\n"
+    }
+
+    /// Parse an artifact produced by [`Self::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming what is missing or malformed.
+    pub fn from_json(json: &Json) -> Result<CampaignArtifact, String> {
+        let name = json
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("campaign missing name")?
+            .to_string();
+        let engine_version = json
+            .get("engine_version")
+            .and_then(Json::as_str)
+            .ok_or("campaign missing engine_version")?
+            .to_string();
+        let seed = json
+            .get("seed")
+            .and_then(Json::as_str)
+            .and_then(crate::fingerprint::from_hex)
+            .ok_or("campaign missing seed")?;
+        let experiments = json
+            .get("experiments")
+            .and_then(Json::as_arr)
+            .ok_or("campaign missing experiments")?
+            .iter()
+            .map(|e| {
+                Ok(ExperimentData {
+                    id: e
+                        .get("id")
+                        .and_then(Json::as_str)
+                        .ok_or("experiment missing id")?
+                        .to_string(),
+                    title: e
+                        .get("title")
+                        .and_then(Json::as_str)
+                        .ok_or("experiment missing title")?
+                        .to_string(),
+                    tables: e
+                        .get("tables")
+                        .and_then(Json::as_arr)
+                        .ok_or("experiment missing tables")?
+                        .iter()
+                        .map(table_from_json)
+                        .collect::<Result<Vec<_>, String>>()?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(CampaignArtifact {
+            name,
+            engine_version,
+            seed,
+            experiments,
+        })
+    }
+
+    /// Parse an artifact from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on malformed JSON or a malformed artifact.
+    pub fn parse(text: &str) -> Result<CampaignArtifact, String> {
+        Self::from_json(&Json::parse(text).map_err(|e| e.to_string())?)
+    }
+}
+
+fn table_to_json(table: &TableData) -> Json {
+    let strings = |items: &[String]| Json::Arr(items.iter().cloned().map(Json::Str).collect());
+    Json::obj(vec![
+        ("title", Json::Str(table.title.clone())),
+        ("columns", strings(&table.columns)),
+        (
+            "rows",
+            Json::Arr(table.rows.iter().map(|r| strings(r)).collect()),
+        ),
+    ])
+}
+
+fn table_from_json(json: &Json) -> Result<TableData, String> {
+    let strings = |value: &Json, what: &str| -> Result<Vec<String>, String> {
+        value
+            .as_arr()
+            .ok_or(format!("table {what} is not an array"))?
+            .iter()
+            .map(|s| {
+                s.as_str()
+                    .map(str::to_string)
+                    .ok_or(format!("table {what} holds a non-string"))
+            })
+            .collect()
+    };
+    Ok(TableData {
+        title: json
+            .get("title")
+            .and_then(Json::as_str)
+            .ok_or("table missing title")?
+            .to_string(),
+        columns: strings(
+            json.get("columns").ok_or("table missing columns")?,
+            "columns",
+        )?,
+        rows: json
+            .get("rows")
+            .and_then(Json::as_arr)
+            .ok_or("table missing rows")?
+            .iter()
+            .map(|r| strings(r, "row"))
+            .collect::<Result<Vec<_>, String>>()?,
+    })
+}
+
+/// One cell (or structural) difference between two artifacts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellDiff {
+    /// `experiment/table-title/row-label/column` path of the cell, or
+    /// the missing structure.
+    pub path: String,
+    /// The baseline value (`-` when absent).
+    pub baseline: String,
+    /// The candidate value (`-` when absent).
+    pub candidate: String,
+    /// Absolute numeric delta when both sides parse as numbers.
+    pub delta: Option<f64>,
+}
+
+impl fmt::Display for CellDiff {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.delta {
+            Some(delta) => write!(
+                f,
+                "{}: {} -> {} (|delta| {:.4})",
+                self.path, self.baseline, self.candidate, delta
+            ),
+            None => write!(f, "{}: {} -> {}", self.path, self.baseline, self.candidate),
+        }
+    }
+}
+
+/// The outcome of comparing a candidate artifact against a baseline.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CampaignDiff {
+    /// Cells compared (both sides present).
+    pub cells_compared: usize,
+    /// Regressions beyond tolerance, plus structural mismatches.
+    pub regressions: Vec<CellDiff>,
+}
+
+impl CampaignDiff {
+    /// `true` when nothing regressed.
+    pub fn is_clean(&self) -> bool {
+        self.regressions.is_empty()
+    }
+
+    /// A per-cell report of every regression.
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        for diff in &self.regressions {
+            out.push_str(&diff.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Compare `candidate` against `baseline` cell by cell.
+///
+/// Numeric cells regress when `|baseline - candidate| > tolerance`
+/// (absolute, in the cell's own unit — misprediction percentage points
+/// for the sweep tables). Non-numeric cells regress on any inequality.
+/// Experiments, tables or rows present on one side only are structural
+/// regressions.
+pub fn diff(
+    baseline: &CampaignArtifact,
+    candidate: &CampaignArtifact,
+    tolerance: f64,
+) -> CampaignDiff {
+    let mut out = CampaignDiff::default();
+    let absent = |path: String, baseline: &str, candidate: &str| CellDiff {
+        path,
+        baseline: baseline.to_string(),
+        candidate: candidate.to_string(),
+        delta: None,
+    };
+    for b_exp in &baseline.experiments {
+        let Some(c_exp) = candidate.experiments.iter().find(|e| e.id == b_exp.id) else {
+            out.regressions
+                .push(absent(b_exp.id.clone(), "present", "missing"));
+            continue;
+        };
+        for (t, b_table) in b_exp.tables.iter().enumerate() {
+            let path = format!("{}/{}", b_exp.id, b_table.title);
+            let Some(c_table) = c_exp.tables.get(t) else {
+                out.regressions.push(absent(path, "present", "missing"));
+                continue;
+            };
+            for (r, b_row) in b_table.rows.iter().enumerate() {
+                let row_label = b_row.first().cloned().unwrap_or_else(|| r.to_string());
+                let Some(c_row) = c_table.rows.get(r) else {
+                    out.regressions.push(absent(
+                        format!("{path}/{row_label}"),
+                        "present",
+                        "missing",
+                    ));
+                    continue;
+                };
+                for (col, b_cell) in b_row.iter().enumerate() {
+                    let column = b_table
+                        .columns
+                        .get(col)
+                        .cloned()
+                        .unwrap_or_else(|| col.to_string());
+                    let cell_path = format!("{path}/{row_label}/{column}");
+                    let Some(c_cell) = c_row.get(col) else {
+                        out.regressions.push(absent(cell_path, b_cell, "missing"));
+                        continue;
+                    };
+                    out.cells_compared += 1;
+                    match (b_cell.parse::<f64>(), c_cell.parse::<f64>()) {
+                        (Ok(b), Ok(c)) => {
+                            let delta = (b - c).abs();
+                            if delta > tolerance {
+                                out.regressions.push(CellDiff {
+                                    path: cell_path,
+                                    baseline: b_cell.clone(),
+                                    candidate: c_cell.clone(),
+                                    delta: Some(delta),
+                                });
+                            }
+                        }
+                        _ => {
+                            if b_cell != c_cell {
+                                out.regressions.push(CellDiff {
+                                    path: cell_path,
+                                    baseline: b_cell.clone(),
+                                    candidate: c_cell.clone(),
+                                    delta: None,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+            if c_table.rows.len() > b_table.rows.len() {
+                out.regressions.push(absent(
+                    format!("{path}/rows {}..{}", b_table.rows.len(), c_table.rows.len()),
+                    "missing",
+                    "present",
+                ));
+            }
+        }
+    }
+    for c_exp in &candidate.experiments {
+        if !baseline.experiments.iter().any(|e| e.id == c_exp.id) {
+            out.regressions
+                .push(absent(c_exp.id.clone(), "missing", "present"));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn artifact(cell: &str) -> CampaignArtifact {
+        CampaignArtifact {
+            name: "quick".into(),
+            engine_version: "1".into(),
+            seed: 0x5EED_0000,
+            experiments: vec![ExperimentData {
+                id: "fig5".into(),
+                title: "Figure 5".into(),
+                tables: vec![TableData {
+                    title: "gshare".into(),
+                    columns: vec!["size".into(), "groff".into(), "gs".into()],
+                    rows: vec![
+                        vec!["64".into(), "9.41".into(), cell.into()],
+                        vec!["128".into(), "8.02".into(), "8.77".into()],
+                    ],
+                }],
+            }],
+        }
+    }
+
+    #[test]
+    fn artifact_json_roundtrip() {
+        let a = artifact("9.12");
+        let text = a.to_json().to_string_compact();
+        assert_eq!(CampaignArtifact::parse(&text).unwrap(), a);
+        // The pretty form parses too.
+        assert_eq!(CampaignArtifact::parse(&a.to_pretty_string()).unwrap(), a);
+    }
+
+    #[test]
+    fn identical_artifacts_diff_clean() {
+        let d = diff(&artifact("9.12"), &artifact("9.12"), 0.0);
+        assert!(d.is_clean());
+        assert_eq!(d.cells_compared, 6);
+        assert_eq!(d.report(), "");
+    }
+
+    #[test]
+    fn perturbation_beyond_tolerance_is_reported_per_cell() {
+        let d = diff(&artifact("9.12"), &artifact("9.52"), 0.25);
+        assert_eq!(d.regressions.len(), 1);
+        let cell = &d.regressions[0];
+        assert_eq!(cell.path, "fig5/gshare/64/gs");
+        assert!((cell.delta.unwrap() - 0.40).abs() < 1e-9);
+        assert!(d.report().contains("9.12 -> 9.52"), "{}", d.report());
+    }
+
+    #[test]
+    fn perturbation_within_tolerance_passes() {
+        assert!(diff(&artifact("9.12"), &artifact("9.13"), 0.05).is_clean());
+    }
+
+    #[test]
+    fn label_changes_always_regress() {
+        let mut changed = artifact("9.12");
+        changed.experiments[0].tables[0].rows[0][0] = "65".into();
+        let d = diff(&artifact("9.12"), &changed, 10.0);
+        // "64" vs "65" are both numeric; use a non-numeric label change.
+        assert_eq!(d.regressions.len(), 0, "numeric labels obey tolerance");
+        let mut renamed = artifact("9.12");
+        renamed.experiments[0].tables[0].rows[0][0] = "n/a".into();
+        let d = diff(&artifact("9.12"), &renamed, 10.0);
+        assert_eq!(d.regressions.len(), 1);
+        assert!(d.regressions[0].delta.is_none());
+    }
+
+    #[test]
+    fn structural_drift_regresses_both_ways() {
+        let base = artifact("9.12");
+        let mut fewer = base.clone();
+        fewer.experiments.clear();
+        assert!(!diff(&base, &fewer, 1.0).is_clean(), "missing experiment");
+        assert!(!diff(&fewer, &base, 1.0).is_clean(), "extra experiment");
+
+        let mut short = base.clone();
+        short.experiments[0].tables[0].rows.pop();
+        assert!(!diff(&base, &short, 1.0).is_clean(), "missing row");
+        assert!(!diff(&short, &base, 1.0).is_clean(), "extra row");
+    }
+}

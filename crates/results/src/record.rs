@@ -1,0 +1,227 @@
+//! The canonical result record: one simulated cell, durably.
+
+use crate::fingerprint::{self, fnv1a_fields};
+use crate::json::Json;
+use std::fmt;
+
+/// Everything that identifies a cell: the coordinates the paper's grids
+/// compare across. Two cells with equal keys (and equal engine/workload
+/// versions) are guaranteed to produce identical metrics, which is what
+/// makes resume sound.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CellKey {
+    /// Benchmark name (`groff`, `gs`, …).
+    pub bench: String,
+    /// Full predictor spec string (`gskew:n=12,h=8`).
+    pub spec: String,
+    /// Dynamic conditional branch count simulated.
+    pub len: u64,
+    /// Workload seed base the trace was generated from.
+    pub seed: u64,
+    /// Novel-reference accounting policy (`count` | `exclude`).
+    pub policy: String,
+}
+
+impl CellKey {
+    /// The cell's stable fingerprint, covering the key itself plus a
+    /// fingerprint of the full workload parameter set and the engine
+    /// version. Any change to spec, workload shape, length, seed,
+    /// accounting or engine invalidates the record.
+    pub fn fingerprint(&self, workload_params: &str, engine_version: &str) -> u64 {
+        fnv1a_fields(&[
+            "cell/v1",
+            &self.bench,
+            &self.spec,
+            &self.len.to_string(),
+            &self.seed.to_string(),
+            &self.policy,
+            workload_params,
+            engine_version,
+        ])
+    }
+}
+
+impl fmt::Display for CellKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} @ {} (len {}, seed {:#x}, {})",
+            self.spec, self.bench, self.len, self.seed, self.policy
+        )
+    }
+}
+
+/// One persisted experiment result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultRecord {
+    /// Experiment id the cell was produced under (`fig5`, `adhoc`, …).
+    /// Informational: it is not part of the fingerprint, so experiments
+    /// sharing a cell share the record.
+    pub experiment: String,
+    /// The cell coordinates.
+    pub key: CellKey,
+    /// The stable fingerprint (see [`CellKey::fingerprint`]).
+    pub fingerprint: u64,
+    /// Engine version the record was produced by.
+    pub engine_version: String,
+    /// Dynamic conditional branches predicted.
+    pub conditional: u64,
+    /// Mispredicted conditional branches.
+    pub mispredicted: u64,
+    /// References flagged novel by the predictor.
+    pub novel: u64,
+    /// Wall-clock simulation time in milliseconds. For batched passes
+    /// this is the whole pass divided evenly over its cells.
+    pub elapsed_ms: f64,
+}
+
+impl ResultRecord {
+    /// Misprediction percentage, recomputed from the stored counts (so a
+    /// resumed table is byte-identical to a simulated one).
+    pub fn mispredict_pct(&self) -> f64 {
+        if self.conditional == 0 {
+            0.0
+        } else {
+            100.0 * self.mispredicted as f64 / self.conditional as f64
+        }
+    }
+
+    /// Serialize to a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("experiment", Json::Str(self.experiment.clone())),
+            ("bench", Json::Str(self.key.bench.clone())),
+            ("spec", Json::Str(self.key.spec.clone())),
+            ("len", Json::Num(self.key.len as f64)),
+            ("seed", Json::Str(fingerprint::to_hex(self.key.seed))),
+            ("policy", Json::Str(self.key.policy.clone())),
+            (
+                "fingerprint",
+                Json::Str(fingerprint::to_hex(self.fingerprint)),
+            ),
+            ("engine_version", Json::Str(self.engine_version.clone())),
+            ("conditional", Json::Num(self.conditional as f64)),
+            ("mispredicted", Json::Num(self.mispredicted as f64)),
+            ("novel", Json::Num(self.novel as f64)),
+            ("elapsed_ms", Json::Num(self.elapsed_ms)),
+        ])
+    }
+
+    /// Deserialize from a JSON object produced by [`Self::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the missing or malformed field.
+    pub fn from_json(json: &Json) -> Result<ResultRecord, String> {
+        let text = |field: &str| -> Result<String, String> {
+            json.get(field)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("record missing string field `{field}`"))
+        };
+        let num = |field: &str| -> Result<u64, String> {
+            json.get(field)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("record missing integer field `{field}`"))
+        };
+        let hex = |field: &str| -> Result<u64, String> {
+            text(field).and_then(|s| {
+                fingerprint::from_hex(&s).ok_or_else(|| format!("bad hex in field `{field}`"))
+            })
+        };
+        Ok(ResultRecord {
+            experiment: text("experiment")?,
+            key: CellKey {
+                bench: text("bench")?,
+                spec: text("spec")?,
+                len: num("len")?,
+                seed: hex("seed")?,
+                policy: text("policy")?,
+            },
+            fingerprint: hex("fingerprint")?,
+            engine_version: text("engine_version")?,
+            conditional: num("conditional")?,
+            mispredicted: num("mispredicted")?,
+            novel: num("novel")?,
+            elapsed_ms: json
+                .get("elapsed_ms")
+                .and_then(Json::as_f64)
+                .ok_or("record missing number field `elapsed_ms`")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ResultRecord {
+        ResultRecord {
+            experiment: "fig5".into(),
+            key: CellKey {
+                bench: "groff".into(),
+                spec: "gskew:n=12,h=4".into(),
+                len: 120_000,
+                seed: 0x5EED_0000,
+                policy: "count".into(),
+            },
+            fingerprint: 0xfeed_beef_dead_cafe,
+            engine_version: "1".into(),
+            conditional: 120_000,
+            mispredicted: 7_345,
+            novel: 0,
+            elapsed_ms: 41.5,
+        }
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let record = sample();
+        let text = record.to_json().to_string_compact();
+        let back = ResultRecord::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, record);
+    }
+
+    #[test]
+    fn pct_recomputes_from_counts() {
+        let record = sample();
+        assert!((record.mispredict_pct() - 100.0 * 7_345.0 / 120_000.0).abs() < 1e-12);
+        let empty = ResultRecord {
+            conditional: 0,
+            ..sample()
+        };
+        assert_eq!(empty.mispredict_pct(), 0.0);
+    }
+
+    #[test]
+    fn fingerprint_covers_every_coordinate() {
+        let base = sample().key;
+        let fp = base.fingerprint("wl", "1");
+        let mut spec = base.clone();
+        spec.spec = "gshare:n=14,h=4".into();
+        let mut len = base.clone();
+        len.len += 1;
+        let mut seed = base.clone();
+        seed.seed += 1;
+        let mut policy = base.clone();
+        policy.policy = "exclude".into();
+        let mut bench = base.clone();
+        bench.bench = "gs".into();
+        for other in [&spec, &len, &seed, &policy, &bench] {
+            assert_ne!(other.fingerprint("wl", "1"), fp, "{other:?}");
+        }
+        assert_ne!(base.fingerprint("wl2", "1"), fp, "workload params");
+        assert_ne!(base.fingerprint("wl", "2"), fp, "engine version");
+        assert_eq!(base.fingerprint("wl", "1"), fp, "stable for equal inputs");
+    }
+
+    #[test]
+    fn missing_fields_error_by_name() {
+        let mut json = sample().to_json();
+        if let Json::Obj(pairs) = &mut json {
+            pairs.retain(|(k, _)| k != "mispredicted");
+        }
+        let e = ResultRecord::from_json(&json).unwrap_err();
+        assert!(e.contains("mispredicted"), "{e}");
+    }
+}

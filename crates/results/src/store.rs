@@ -1,0 +1,462 @@
+//! The on-disk results store: content-addressed, atomic, checksummed,
+//! byte-budgeted.
+//!
+//! Layout under the store root (default `.gskew/results/`):
+//!
+//! ```text
+//! index.json                 fingerprint -> file/bytes/stamp map
+//! records/<fp-hex>.json      {"checksum": "<fnv1a hex>", "record": {...}}
+//! ```
+//!
+//! Every write goes through a tmp-file + rename, so a crashed or killed
+//! process never leaves a half-written record or index visible. Loads
+//! verify the stored checksum against the serialized record bytes and
+//! that the record's fingerprint matches its address; a corrupt file is
+//! treated as absent (the cell just re-simulates). [`ResultsStore::gc`]
+//! evicts the oldest-inserted records until a byte budget holds.
+
+use crate::fingerprint::{self, fnv1a};
+use crate::json::Json;
+use crate::record::ResultRecord;
+use std::collections::HashMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The default store location, relative to the working directory.
+pub const DEFAULT_STORE_DIR: &str = ".gskew/results";
+
+#[derive(Debug, Clone)]
+struct IndexEntry {
+    file: String,
+    bytes: u64,
+    /// Monotonic insertion stamp; smallest is garbage-collected first.
+    stamp: u64,
+}
+
+/// A results store rooted at one directory.
+#[derive(Debug)]
+pub struct ResultsStore {
+    root: PathBuf,
+    index: HashMap<u64, IndexEntry>,
+    next_stamp: u64,
+}
+
+/// What one [`ResultsStore::gc`] pass did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GcStats {
+    /// Records deleted.
+    pub removed: usize,
+    /// Bytes freed.
+    pub freed_bytes: u64,
+    /// Bytes still resident after the pass.
+    pub remaining_bytes: u64,
+}
+
+impl ResultsStore {
+    /// Open (creating if needed) a store rooted at `root`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on filesystem errors or an unreadable index. A
+    /// *missing* index is not an error — the store starts empty.
+    pub fn open(root: impl Into<PathBuf>) -> Result<ResultsStore, String> {
+        let root = root.into();
+        fs::create_dir_all(root.join("records"))
+            .map_err(|e| format!("create {}: {e}", root.display()))?;
+        let mut store = ResultsStore {
+            root,
+            index: HashMap::new(),
+            next_stamp: 0,
+        };
+        let index_path = store.index_path();
+        match fs::read_to_string(&index_path) {
+            Ok(text) => store.load_index(&text)?,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(format!("read {}: {e}", index_path.display())),
+        }
+        Ok(store)
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Number of records in the index.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether the store holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Total bytes of all indexed record files.
+    pub fn total_bytes(&self) -> u64 {
+        self.index.values().map(|e| e.bytes).sum()
+    }
+
+    /// Every indexed fingerprint, in unspecified order.
+    pub fn fingerprints(&self) -> Vec<u64> {
+        self.index.keys().copied().collect()
+    }
+
+    /// Whether a record with this fingerprint is indexed.
+    pub fn contains(&self, fp: u64) -> bool {
+        self.index.contains_key(&fp)
+    }
+
+    fn index_path(&self) -> PathBuf {
+        self.root.join("index.json")
+    }
+
+    fn record_path(&self, fp: u64) -> PathBuf {
+        self.root
+            .join("records")
+            .join(format!("{}.json", fingerprint::to_hex(fp)))
+    }
+
+    /// Insert (or overwrite) a record, addressed by its fingerprint.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on filesystem errors.
+    pub fn put(&mut self, record: &ResultRecord) -> Result<(), String> {
+        let payload = record.to_json().to_string_compact();
+        let wrapped = Json::obj(vec![
+            (
+                "checksum",
+                Json::Str(fingerprint::to_hex(fnv1a(payload.as_bytes()))),
+            ),
+            (
+                "record",
+                Json::parse(&payload).expect("own serialization parses"),
+            ),
+        ])
+        .to_string_compact();
+        let path = self.record_path(record.fingerprint);
+        write_atomic(&path, wrapped.as_bytes())?;
+        let stamp = self.next_stamp;
+        self.next_stamp += 1;
+        self.index.insert(
+            record.fingerprint,
+            IndexEntry {
+                file: format!("records/{}.json", fingerprint::to_hex(record.fingerprint)),
+                bytes: wrapped.len() as u64,
+                stamp,
+            },
+        );
+        self.persist_index()
+    }
+
+    /// Load the record with this fingerprint, or `None` when it is
+    /// absent, unreadable, fails its checksum, or is filed under the
+    /// wrong address — a corrupt record is indistinguishable from a
+    /// missing one, so the caller simply re-simulates.
+    pub fn get(&self, fp: u64) -> Option<ResultRecord> {
+        self.load(fp).ok()
+    }
+
+    /// As [`Self::get`], surfacing *why* a record failed to load.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for missing/corrupt/misfiled records.
+    pub fn load(&self, fp: u64) -> Result<ResultRecord, String> {
+        if !self.index.contains_key(&fp) {
+            return Err(format!(
+                "fingerprint {} not indexed",
+                fingerprint::to_hex(fp)
+            ));
+        }
+        let path = self.record_path(fp);
+        let text =
+            fs::read_to_string(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        let wrapped = Json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        let stored_checksum = wrapped
+            .get("checksum")
+            .and_then(Json::as_str)
+            .and_then(fingerprint::from_hex)
+            .ok_or_else(|| format!("{}: missing checksum", path.display()))?;
+        let payload = wrapped
+            .get("record")
+            .ok_or_else(|| format!("{}: missing record body", path.display()))?;
+        let canonical = payload.to_string_compact();
+        if fnv1a(canonical.as_bytes()) != stored_checksum {
+            return Err(format!("{}: checksum mismatch", path.display()));
+        }
+        let record =
+            ResultRecord::from_json(payload).map_err(|e| format!("{}: {e}", path.display()))?;
+        if record.fingerprint != fp {
+            return Err(format!(
+                "{}: record fingerprint {} filed under {}",
+                path.display(),
+                fingerprint::to_hex(record.fingerprint),
+                fingerprint::to_hex(fp)
+            ));
+        }
+        Ok(record)
+    }
+
+    /// Load every readable record (corrupt ones are skipped).
+    pub fn records(&self) -> Vec<ResultRecord> {
+        let mut fps = self.fingerprints();
+        fps.sort_unstable();
+        fps.into_iter().filter_map(|fp| self.get(fp)).collect()
+    }
+
+    /// Delete oldest-inserted records until at most `budget_bytes` of
+    /// record files remain, then persist the shrunken index.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on filesystem errors (deletion of an
+    /// already-missing file is not an error).
+    pub fn gc(&mut self, budget_bytes: u64) -> Result<GcStats, String> {
+        let mut stats = GcStats::default();
+        let mut resident = self.total_bytes();
+        while resident > budget_bytes {
+            let oldest = self
+                .index
+                .iter()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(&fp, _)| fp)
+                .expect("nonzero resident bytes implies an entry");
+            let entry = self.index.remove(&oldest).expect("key just found");
+            match fs::remove_file(self.root.join(&entry.file)) {
+                Ok(()) => {}
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                Err(e) => return Err(format!("remove {}: {e}", entry.file)),
+            }
+            resident -= entry.bytes;
+            stats.removed += 1;
+            stats.freed_bytes += entry.bytes;
+        }
+        stats.remaining_bytes = resident;
+        self.persist_index()?;
+        Ok(stats)
+    }
+
+    fn persist_index(&self) -> Result<(), String> {
+        let mut entries: Vec<(&u64, &IndexEntry)> = self.index.iter().collect();
+        entries.sort_by_key(|(fp, _)| **fp);
+        let json = Json::obj(vec![
+            ("version", Json::Num(1.0)),
+            ("next_stamp", Json::Num(self.next_stamp as f64)),
+            (
+                "entries",
+                Json::Arr(
+                    entries
+                        .into_iter()
+                        .map(|(fp, e)| {
+                            Json::obj(vec![
+                                ("fingerprint", Json::Str(fingerprint::to_hex(*fp))),
+                                ("file", Json::Str(e.file.clone())),
+                                ("bytes", Json::Num(e.bytes as f64)),
+                                ("stamp", Json::Num(e.stamp as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]);
+        write_atomic(&self.index_path(), json.to_string_compact().as_bytes())
+    }
+
+    fn load_index(&mut self, text: &str) -> Result<(), String> {
+        let json = Json::parse(text).map_err(|e| format!("index.json: {e}"))?;
+        self.next_stamp = json
+            .get("next_stamp")
+            .and_then(Json::as_u64)
+            .ok_or("index.json: missing next_stamp")?;
+        let entries = json
+            .get("entries")
+            .and_then(Json::as_arr)
+            .ok_or("index.json: missing entries")?;
+        for entry in entries {
+            let fp = entry
+                .get("fingerprint")
+                .and_then(Json::as_str)
+                .and_then(fingerprint::from_hex)
+                .ok_or("index.json: bad fingerprint")?;
+            let file = entry
+                .get("file")
+                .and_then(Json::as_str)
+                .ok_or("index.json: missing file")?
+                .to_string();
+            let bytes = entry
+                .get("bytes")
+                .and_then(Json::as_u64)
+                .ok_or("index.json: missing bytes")?;
+            let stamp = entry
+                .get("stamp")
+                .and_then(Json::as_u64)
+                .ok_or("index.json: missing stamp")?;
+            self.index.insert(fp, IndexEntry { file, bytes, stamp });
+        }
+        Ok(())
+    }
+}
+
+/// Write `contents` to `path` atomically: a tmp file in the same
+/// directory, flushed, then renamed over the destination.
+///
+/// # Errors
+///
+/// Returns a message on filesystem errors.
+pub fn write_atomic(path: &Path, contents: &[u8]) -> Result<(), String> {
+    let tmp = path.with_extension(format!("tmp{}", std::process::id()));
+    fs::write(&tmp, contents).map_err(|e| format!("write {}: {e}", tmp.display()))?;
+    fs::rename(&tmp, path)
+        .map_err(|e| format!("rename {} -> {}: {e}", tmp.display(), path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::CellKey;
+
+    fn temp_root(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("bpred-results-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn record(spec: &str, mispredicted: u64) -> ResultRecord {
+        let key = CellKey {
+            bench: "groff".into(),
+            spec: spec.into(),
+            len: 1_000,
+            seed: 0x5EED_0000,
+            policy: "count".into(),
+        };
+        let fingerprint = key.fingerprint("wl", "1");
+        ResultRecord {
+            experiment: "test".into(),
+            key,
+            fingerprint,
+            engine_version: "1".into(),
+            conditional: 1_000,
+            mispredicted,
+            novel: 0,
+            elapsed_ms: 1.0,
+        }
+    }
+
+    #[test]
+    fn put_get_roundtrip_and_reopen() {
+        let root = temp_root("roundtrip");
+        let mut store = ResultsStore::open(&root).unwrap();
+        let r = record("gshare:n=10,h=4", 123);
+        store.put(&r).unwrap();
+        assert_eq!(store.get(r.fingerprint), Some(r.clone()));
+        assert_eq!(store.len(), 1);
+        assert!(store.total_bytes() > 0);
+
+        // A fresh handle sees the persisted state.
+        let reopened = ResultsStore::open(&root).unwrap();
+        assert_eq!(reopened.get(r.fingerprint), Some(r.clone()));
+        assert!(reopened.contains(r.fingerprint));
+        assert_eq!(reopened.records(), vec![r]);
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn corrupt_record_fails_checksum_and_reads_as_absent() {
+        let root = temp_root("corrupt");
+        let mut store = ResultsStore::open(&root).unwrap();
+        let r = record("gshare:n=10,h=4", 123);
+        store.put(&r).unwrap();
+        let path = store.record_path(r.fingerprint);
+        let tampered = fs::read_to_string(&path).unwrap().replace("123", "124");
+        fs::write(&path, tampered).unwrap();
+        let e = store.load(r.fingerprint).unwrap_err();
+        assert!(e.contains("checksum"), "{e}");
+        assert_eq!(store.get(r.fingerprint), None);
+        assert!(store.records().is_empty(), "corrupt records are skipped");
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn misfiled_record_is_rejected() {
+        let root = temp_root("misfiled");
+        let mut store = ResultsStore::open(&root).unwrap();
+        let a = record("gshare:n=10,h=4", 1);
+        let b = record("gshare:n=11,h=4", 2);
+        store.put(&a).unwrap();
+        store.put(&b).unwrap();
+        // File b's bytes under a's address.
+        fs::copy(
+            store.record_path(b.fingerprint),
+            store.record_path(a.fingerprint),
+        )
+        .unwrap();
+        let e = store.load(a.fingerprint).unwrap_err();
+        assert!(e.contains("filed under"), "{e}");
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn gc_enforces_budget_oldest_first() {
+        let root = temp_root("gc");
+        let mut store = ResultsStore::open(&root).unwrap();
+        let first = record("gshare:n=8,h=4", 1);
+        let second = record("gshare:n=9,h=4", 2);
+        let third = record("gshare:n=10,h=4", 3);
+        for r in [&first, &second, &third] {
+            store.put(r).unwrap();
+        }
+        // A budget one byte short of the total must evict exactly the
+        // oldest record.
+        let budget = store.total_bytes() - 1;
+        let stats = store.gc(budget).unwrap();
+        assert_eq!(stats.removed, 1);
+        assert!(stats.freed_bytes > 0);
+        assert!(store.total_bytes() <= budget);
+        assert_eq!(store.get(first.fingerprint), None, "oldest evicted");
+        assert!(store.get(second.fingerprint).is_some());
+        assert!(store.get(third.fingerprint).is_some());
+        assert!(!store.record_path(first.fingerprint).exists());
+
+        // A zero budget clears everything; gc on an empty store is a no-op.
+        let stats = store.gc(0).unwrap();
+        assert_eq!(stats.removed, 2);
+        assert_eq!(stats.remaining_bytes, 0);
+        assert!(store.is_empty());
+        assert_eq!(store.gc(0).unwrap(), GcStats::default());
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn overwrite_same_fingerprint_keeps_one_entry() {
+        let root = temp_root("overwrite");
+        let mut store = ResultsStore::open(&root).unwrap();
+        let r = record("gshare:n=10,h=4", 123);
+        store.put(&r).unwrap();
+        store.put(&r).unwrap();
+        assert_eq!(store.len(), 1);
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn no_tmp_files_survive_writes() {
+        let root = temp_root("tmp");
+        let mut store = ResultsStore::open(&root).unwrap();
+        store.put(&record("gshare:n=10,h=4", 9)).unwrap();
+        let stray: Vec<_> = fs::read_dir(root.join("records"))
+            .unwrap()
+            .chain(fs::read_dir(&root).unwrap())
+            .filter_map(|e| e.ok())
+            .filter(|e| {
+                e.path()
+                    .extension()
+                    .map(|x| x.to_string_lossy().starts_with("tmp"))
+                    .unwrap_or(false)
+            })
+            .collect();
+        assert!(stray.is_empty(), "{stray:?}");
+        fs::remove_dir_all(&root).unwrap();
+    }
+}

@@ -1,21 +1,42 @@
 //! Shared plumbing for the experiment modules.
 
 use super::ExperimentOpts;
-use crate::engine::{self, NovelPolicy};
+use crate::engine::{self, NovelPolicy, RunResult};
 use crate::report::{pct, Table};
+use crate::resume;
 use crate::runner::parallel_map;
 use bpred_core::predictor::BranchPredictor;
 use bpred_core::spec::parse_spec;
+use bpred_results::record::CellKey;
 use bpred_trace::cache;
 use bpred_trace::record::BranchRecord;
-use bpred_trace::workload::IbsBenchmark;
+use bpred_trace::workload::{IbsBenchmark, DEFAULT_SEED_BASE};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Process-global workload seed base used by every experiment helper.
+/// Defaults to [`DEFAULT_SEED_BASE`] (byte-identical traces to every
+/// prior release); the CLI's `--seed` overrides it. Like the trace-cache
+/// switch, only single-threaded entry points should set it.
+static SEED_BASE: AtomicU64 = AtomicU64::new(DEFAULT_SEED_BASE);
+
+/// Set the workload seed base the experiment helpers generate under.
+pub fn set_workload_seed(base: u64) {
+    SEED_BASE.store(base, Ordering::Relaxed);
+}
+
+/// The workload seed base currently in effect.
+pub fn workload_seed() -> u64 {
+    SEED_BASE.load(Ordering::Relaxed)
+}
 
 /// The benchmark record stream bounded to `len` conditional branches,
-/// served from the process-wide trace cache: repeated calls with the same
-/// arguments share one materialized `Arc<[BranchRecord]>` instead of
-/// regenerating the workload.
+/// generated under the current [`workload_seed`] and served from the
+/// process-wide trace cache: repeated calls with the same arguments
+/// share one materialized `Arc<[BranchRecord]>` instead of regenerating
+/// the workload.
 pub fn stream(bench: IbsBenchmark, len: u64) -> impl Iterator<Item = BranchRecord> {
-    cache::stream(bench, len)
+    cache::stream_seeded(bench, len, workload_seed())
 }
 
 /// Simulate a predictor spec over one benchmark and return the
@@ -30,8 +51,40 @@ pub fn sim_pct(spec: &str, bench: IbsBenchmark, len: u64) -> f64 {
 
 /// [`sim_pct`] with an explicit novel-reference policy.
 pub fn sim_pct_with(spec: &str, bench: IbsBenchmark, len: u64, policy: NovelPolicy) -> f64 {
-    let mut predictor = parse_spec(spec).unwrap_or_else(|e| panic!("bad spec `{spec}`: {e}"));
-    engine::run_with(&mut predictor, stream(bench, len), policy).mispredict_pct()
+    sim_cell(spec, bench, len, policy).mispredict_pct()
+}
+
+/// Simulate one cell, consulting the results store first when one is
+/// attached ([`crate::resume`]): a fingerprint-identical hit returns the
+/// stored counts without touching the engine, and misses are persisted
+/// when saving is enabled. With no store attached this is exactly the
+/// plain simulate path.
+fn sim_cell(spec: &str, bench: IbsBenchmark, len: u64, policy: NovelPolicy) -> RunResult {
+    let seed = workload_seed();
+    let simulate = || {
+        let mut predictor = parse_spec(spec).unwrap_or_else(|e| panic!("bad spec `{spec}`: {e}"));
+        engine::run_with(
+            &mut predictor,
+            cache::stream_seeded(bench, len, seed),
+            policy,
+        )
+    };
+    if !resume::is_active() {
+        return simulate();
+    }
+    let (key, fingerprint) = resume::cell(spec, bench, len, seed, policy);
+    if let Some(hit) = resume::lookup(fingerprint) {
+        return hit;
+    }
+    let start = Instant::now();
+    let result = simulate();
+    resume::record(
+        key,
+        fingerprint,
+        result,
+        start.elapsed().as_secs_f64() * 1e3,
+    );
+    result
 }
 
 /// Build a benchmark-per-column table by evaluating `cell` for every
@@ -110,20 +163,54 @@ pub fn spec_sweep_table_with(
     let mut table = Table::new(title, columns);
 
     let rows = row_labels.len();
+    let seed = workload_seed();
     // One task per benchmark: the per-benchmark trace is the shared
-    // resource, so it is also the unit of parallelism.
+    // resource, so it is also the unit of parallelism. With a results
+    // store attached, stored rows are adopted and only the missing ones
+    // ride the batched `run_many` pass.
     let per_bench: Vec<Vec<f64>> =
         parallel_map(IbsBenchmark::all().to_vec(), opts.threads, |bench| {
-            let trace = cache::materialize(bench, opts.len_for(bench));
-            let mut predictors: Vec<Box<dyn BranchPredictor>> = (0..rows)
-                .map(|row| {
-                    let spec = spec_for_row(row);
-                    parse_spec(&spec).unwrap_or_else(|e| panic!("bad spec `{spec}`: {e}"))
-                })
+            let len = opts.len_for(bench);
+            let specs: Vec<String> = (0..rows).map(&spec_for_row).collect();
+            let parse = |spec: &str| -> Box<dyn BranchPredictor> {
+                parse_spec(spec).unwrap_or_else(|e| panic!("bad spec `{spec}`: {e}"))
+            };
+
+            if !resume::is_active() {
+                let trace = cache::materialize_seeded(bench, len, seed);
+                let mut predictors: Vec<_> = specs.iter().map(|s| parse(s)).collect();
+                return engine::run_many(&mut predictors, &trace, policy)
+                    .into_iter()
+                    .map(|r| r.mispredict_pct())
+                    .collect();
+            }
+
+            let keys: Vec<(CellKey, u64)> = specs
+                .iter()
+                .map(|spec| resume::cell(spec, bench, len, seed, policy))
                 .collect();
-            engine::run_many(&mut predictors, &trace, policy)
+            let mut results: Vec<Option<RunResult>> = keys
+                .iter()
+                .map(|&(_, fingerprint)| resume::lookup(fingerprint))
+                .collect();
+            let missing: Vec<usize> = (0..rows).filter(|&row| results[row].is_none()).collect();
+            if !missing.is_empty() {
+                let trace = cache::materialize_seeded(bench, len, seed);
+                let mut predictors: Vec<_> =
+                    missing.iter().map(|&row| parse(&specs[row])).collect();
+                let start = Instant::now();
+                let simulated = engine::run_many(&mut predictors, &trace, policy);
+                // The trace walk is shared; bill it evenly per cell.
+                let per_cell_ms = start.elapsed().as_secs_f64() * 1e3 / missing.len() as f64;
+                for (&row, result) in missing.iter().zip(simulated) {
+                    let (key, fingerprint) = keys[row].clone();
+                    resume::record(key, fingerprint, result, per_cell_ms);
+                    results[row] = Some(result);
+                }
+            }
+            results
                 .into_iter()
-                .map(|r| r.mispredict_pct())
+                .map(|r| r.expect("every row resolved").mispredict_pct())
                 .collect()
         });
 

@@ -23,7 +23,7 @@ mod helpers;
 mod table1;
 mod table2;
 
-pub use helpers::{sim_pct, stream};
+pub use helpers::{set_workload_seed, sim_pct, stream, workload_seed};
 
 /// Global knobs shared by all experiments.
 #[derive(Debug, Clone)]
@@ -123,6 +123,9 @@ pub const ALL_IDS: &[&str] = &[
 
 /// Run one experiment by id. Returns `None` for unknown ids.
 pub fn run(id: &str, opts: &ExperimentOpts) -> Option<ExperimentOutput> {
+    if let Some(stable) = ALL_IDS.iter().find(|stable| **stable == id) {
+        crate::resume::set_experiment(stable);
+    }
     let output = match id {
         "table1" => table1::run(opts),
         "table2" => table2::run(opts),

@@ -14,6 +14,9 @@
 //!   renderable tables.
 //! * [`report`] — aligned-text and CSV table rendering.
 //! * [`runner`] — order-preserving parallel sweeps.
+//! * [`resume`] — results-store integration: persist simulated cells and
+//!   skip fingerprint-identical ones on reruns.
+//! * [`campaign`] — named experiment sets and their portable artifacts.
 //!
 //! ```
 //! use bpred_sim::engine;
@@ -30,10 +33,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod duel;
 pub mod engine;
 pub mod experiments;
 pub mod report;
+pub mod resume;
 pub mod runner;
 
 /// Convenient re-exports of the most commonly used items.

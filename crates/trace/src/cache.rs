@@ -29,7 +29,7 @@
 
 use crate::record::BranchRecord;
 use crate::stream::TraceSourceExt;
-use crate::workload::IbsBenchmark;
+use crate::workload::{IbsBenchmark, DEFAULT_SEED_BASE};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -40,8 +40,9 @@ use std::sync::{Arc, Mutex, OnceLock};
 /// `experiment all` runs fit without eviction.
 pub const DEFAULT_CAPACITY_BYTES: usize = 1 << 30;
 
-/// One cached trace keyed by `(benchmark, conditional-branch length)`.
-type Key = (IbsBenchmark, u64);
+/// One cached trace keyed by `(benchmark, conditional-branch length,
+/// workload seed base)`.
+type Key = (IbsBenchmark, u64, u64);
 
 struct Entry {
     records: Arc<[BranchRecord]>,
@@ -186,22 +187,32 @@ pub fn clear() {
     *guard = LruCache::new(capacity);
 }
 
-fn generate(bench: IbsBenchmark, len: u64) -> Arc<[BranchRecord]> {
-    let records: Vec<BranchRecord> = bench.spec().build().take_conditionals(len).collect();
+fn generate(bench: IbsBenchmark, len: u64, seed_base: u64) -> Arc<[BranchRecord]> {
+    let records: Vec<BranchRecord> = bench
+        .spec_seeded(seed_base)
+        .build()
+        .take_conditionals(len)
+        .collect();
     records.into()
 }
 
 /// The benchmark's record stream bounded to `len` conditional branches,
-/// materialized once per process.
+/// materialized once per process (default workload seed).
 ///
 /// Every caller passing the same `(bench, len)` receives a clone of the
 /// same `Arc` allocation (test this with [`Arc::ptr_eq`]), so the
 /// marginal cost of a repeat lookup is a reference-count bump.
 pub fn materialize(bench: IbsBenchmark, len: u64) -> Arc<[BranchRecord]> {
+    materialize_seeded(bench, len, DEFAULT_SEED_BASE)
+}
+
+/// [`materialize`] with an explicit workload seed base; traces generated
+/// under different bases are distinct cache entries.
+pub fn materialize_seeded(bench: IbsBenchmark, len: u64, seed_base: u64) -> Arc<[BranchRecord]> {
     if !is_enabled() {
-        return generate(bench, len);
+        return generate(bench, len, seed_base);
     }
-    let key = (bench, len);
+    let key = (bench, len, seed_base);
     if let Some(records) = cache().lock().expect("trace cache poisoned").get(&key) {
         HITS.fetch_add(1, Ordering::Relaxed);
         return records;
@@ -210,7 +221,7 @@ pub fn materialize(bench: IbsBenchmark, len: u64) -> Arc<[BranchRecord]> {
     // Generate outside the lock so other keys make progress; on a same-key
     // race the first insert wins and the loser adopts it (streams are
     // deterministic, so both allocations hold identical records).
-    let generated = generate(bench, len);
+    let generated = generate(bench, len, seed_base);
     let mut guard = cache().lock().expect("trace cache poisoned");
     if let Some(records) = guard.get(&key) {
         return records;
@@ -259,6 +270,11 @@ pub fn stream(bench: IbsBenchmark, len: u64) -> TraceIter {
     iter(materialize(bench, len))
 }
 
+/// [`stream`] with an explicit workload seed base.
+pub fn stream_seeded(bench: IbsBenchmark, len: u64, seed_base: u64) -> TraceIter {
+    iter(materialize_seeded(bench, len, seed_base))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -274,9 +290,9 @@ mod tests {
     fn lru_evicts_oldest_first() {
         let record_bytes = std::mem::size_of::<BranchRecord>();
         let mut lru = LruCache::new(10 * record_bytes);
-        let a = (IbsBenchmark::Groff, 4);
-        let b = (IbsBenchmark::Gs, 4);
-        let c = (IbsBenchmark::Nroff, 4);
+        let a = (IbsBenchmark::Groff, 4, DEFAULT_SEED_BASE);
+        let b = (IbsBenchmark::Gs, 4, DEFAULT_SEED_BASE);
+        let c = (IbsBenchmark::Nroff, 4, DEFAULT_SEED_BASE);
         lru.insert(a, dummy_records(4, 0x1000));
         lru.insert(b, dummy_records(4, 0x2000));
         // Touch `a` so `b` is the LRU entry, then overflow.
@@ -293,7 +309,10 @@ mod tests {
     fn lru_rejects_oversized_entry() {
         let record_bytes = std::mem::size_of::<BranchRecord>();
         let mut lru = LruCache::new(2 * record_bytes);
-        lru.insert((IbsBenchmark::Groff, 100), dummy_records(100, 0));
+        lru.insert(
+            (IbsBenchmark::Groff, 100, DEFAULT_SEED_BASE),
+            dummy_records(100, 0),
+        );
         assert_eq!(lru.map.len(), 0);
         assert_eq!(lru.resident_bytes, 0);
         assert_eq!(lru.evictions, 0, "nothing resident, nothing evicted");
@@ -306,6 +325,29 @@ mod tests {
         assert!(Arc::ptr_eq(&first, &second));
         let other_len = materialize(IbsBenchmark::Verilog, 3_001);
         assert!(!Arc::ptr_eq(&first, &other_len));
+    }
+
+    #[test]
+    fn seed_is_part_of_the_key() {
+        let default = materialize(IbsBenchmark::Groff, 1_500);
+        let same = materialize_seeded(IbsBenchmark::Groff, 1_500, DEFAULT_SEED_BASE);
+        assert!(
+            Arc::ptr_eq(&default, &same),
+            "default-seeded lookups share the default entry"
+        );
+        let reseeded = materialize_seeded(IbsBenchmark::Groff, 1_500, 0x1234);
+        assert!(!Arc::ptr_eq(&default, &reseeded));
+        assert_ne!(&default[..], &reseeded[..]);
+        let fresh: Vec<BranchRecord> = IbsBenchmark::Groff
+            .spec_seeded(0x1234)
+            .build()
+            .take_conditionals(1_500)
+            .collect();
+        assert_eq!(&reseeded[..], &fresh[..]);
+        assert_eq!(
+            stream_seeded(IbsBenchmark::Groff, 1_500, 0x1234).count(),
+            reseeded.len()
+        );
     }
 
     #[test]

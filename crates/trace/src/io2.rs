@@ -261,6 +261,117 @@ mod tests {
     }
 
     #[test]
+    fn pc_deltas_roundtrip_at_u64_boundaries() {
+        // Deltas are stored as |pc - prev_pc| with a sign flag and
+        // decoded with wrapping arithmetic, so the extremes must all
+        // survive: zero deltas, ±1 steps, and full-range jumps between
+        // 0 and u64::MAX (a u64::MAX-sized delta in both directions).
+        let pcs = [
+            0u64,
+            0, // delta 0 from pc 0
+            1,
+            0,
+            u64::MAX,
+            u64::MAX, // delta 0 at the top
+            u64::MAX - 1,
+            u64::MAX,
+            0, // full-range backward jump
+            u64::MAX,
+            1u64 << 63,
+            (1u64 << 63) - 1,
+        ];
+        let records: Vec<BranchRecord> = pcs
+            .iter()
+            .map(|&pc| BranchRecord::conditional(pc, pc % 2 == 0))
+            .collect();
+        let mut buf = Vec::new();
+        write_compact(&mut buf, records.iter().copied()).unwrap();
+        assert_eq!(read_compact(buf.as_slice()).unwrap(), records);
+    }
+
+    #[test]
+    fn every_flag_combination_roundtrips() {
+        // All 4 kinds x taken x privilege = 16 flag patterns, each with
+        // a distinct pc so the delta path is exercised too.
+        let kinds = [
+            BranchKind::Conditional,
+            BranchKind::Unconditional,
+            BranchKind::Call,
+            BranchKind::Return,
+        ];
+        let mut records = Vec::new();
+        for (i, &kind) in kinds.iter().enumerate() {
+            for taken in [false, true] {
+                for privilege in [Privilege::User, Privilege::Kernel] {
+                    records.push(BranchRecord {
+                        pc: 0x1000 * (i as u64 + 1) + u64::from(taken) * 8,
+                        kind,
+                        taken,
+                        privilege,
+                    });
+                }
+            }
+        }
+        assert_eq!(records.len(), 16);
+        let mut buf = Vec::new();
+        write_compact(&mut buf, records.iter().copied()).unwrap();
+        let back: Vec<BranchRecord> = CompactReader::new(buf.as_slice())
+            .unwrap()
+            .collect::<io::Result<_>>()
+            .unwrap();
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn every_truncation_point_surfaces_an_error() {
+        // Cutting the stream after ANY byte must either fail header
+        // validation or surface exactly one record-level error — never
+        // panic, hang, or silently yield a short but "successful" trace.
+        let mut buf = Vec::new();
+        write_compact(&mut buf, sample().into_iter()).unwrap();
+        for cut in 0..buf.len() {
+            let truncated = &buf[..cut];
+            match CompactReader::new(truncated) {
+                Err(_) => assert!(cut < 5, "header errors only before count at cut {cut}"),
+                Ok(reader) => {
+                    let results: Vec<_> = reader.collect();
+                    let errors = results.iter().filter(|r| r.is_err()).count();
+                    assert_eq!(errors, 1, "exactly one error then stop, cut {cut}");
+                    assert!(results.last().unwrap().is_err(), "error is terminal");
+                    assert!(results.len() <= sample().len());
+                }
+            }
+        }
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn arbitrary_records_roundtrip(raw in proptest::collection::vec(
+            (
+                proptest::any::<u64>(),
+                proptest::any::<u8>(),
+                proptest::any::<bool>(),
+                proptest::any::<bool>(),
+            ),
+            0..64
+        )) {
+            let records: Vec<BranchRecord> = raw
+                .iter()
+                .map(|&(pc, kind, taken, kernel)| BranchRecord {
+                    pc,
+                    kind: BranchKind::from_code(kind % 4).unwrap(),
+                    taken,
+                    privilege: if kernel { Privilege::Kernel } else { Privilege::User },
+                })
+                .collect();
+            let mut buf = Vec::new();
+            write_compact(&mut buf, records.iter().copied()).unwrap();
+            let back = read_compact(buf.as_slice()).unwrap();
+            proptest::prop_assert_eq!(back, records);
+        }
+    }
+
+    #[test]
     fn streaming_matches_bulk() {
         let mut buf = Vec::new();
         write_compact(&mut buf, sample().into_iter()).unwrap();

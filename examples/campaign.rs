@@ -1,0 +1,115 @@
+//! Drive the results store and campaign diffing directly: simulate two
+//! predictors on one benchmark, persist every cell, reload the store in
+//! a fresh handle, and print a cell-by-cell diff of the two predictors.
+//!
+//! ```sh
+//! cargo run --release --example campaign
+//! ```
+
+use gskew::results::campaign::{diff, CampaignArtifact, ExperimentData, TableData};
+use gskew::results::record::{CellKey, ResultRecord};
+use gskew::results::store::ResultsStore;
+use gskew::sim::engine::{self, NovelPolicy};
+use gskew::sim::resume::ENGINE_VERSION;
+use gskew::trace::prelude::*;
+use gskew::trace::workload::DEFAULT_SEED_BASE;
+
+fn main() -> Result<(), String> {
+    let bench = IbsBenchmark::Gs;
+    let len = 100_000;
+    let specs = ["gshare:n=12,h=8", "gskew:n=12,h=8"];
+
+    // 1. Simulate both predictors and persist one fingerprinted record
+    //    per cell, exactly as `bpsim --save-results` would.
+    let root = std::env::temp_dir().join(format!("gskew-example-campaign-{}", std::process::id()));
+    let mut store = ResultsStore::open(&root)?;
+    for spec in specs {
+        let key = CellKey {
+            bench: bench.name().to_string(),
+            spec: spec.to_string(),
+            len,
+            seed: DEFAULT_SEED_BASE,
+            policy: "count".to_string(),
+        };
+        let workload_params = format!("{:?}", bench.spec_seeded(DEFAULT_SEED_BASE));
+        let fingerprint = key.fingerprint(&workload_params, ENGINE_VERSION);
+        let mut predictor =
+            gskew::core::spec::parse_spec(spec).map_err(|e| format!("{spec}: {e}"))?;
+        let start = std::time::Instant::now();
+        let result = engine::run_with(
+            &mut predictor,
+            bench
+                .spec_seeded(DEFAULT_SEED_BASE)
+                .build()
+                .take_conditionals(len),
+            NovelPolicy::Count,
+        );
+        store.put(&ResultRecord {
+            experiment: "example".to_string(),
+            key,
+            fingerprint,
+            engine_version: ENGINE_VERSION.to_string(),
+            conditional: result.conditional,
+            mispredicted: result.mispredicted,
+            novel: result.novel,
+            elapsed_ms: start.elapsed().as_secs_f64() * 1e3,
+        })?;
+    }
+
+    // 2. Reload through a brand-new handle: everything below reads only
+    //    what survived the trip through disk.
+    let reloaded = ResultsStore::open(&root)?;
+    println!(
+        "store at {} holds {} records ({} bytes)\n",
+        root.display(),
+        reloaded.len(),
+        reloaded.total_bytes()
+    );
+
+    // 3. Shape each predictor's stored cells as a one-row artifact and
+    //    diff them — the same machinery `bpsim campaign diff` runs on
+    //    committed baselines.
+    let records = reloaded.records();
+    let artifact_for = |spec: &str| -> CampaignArtifact {
+        let rows = records
+            .iter()
+            .filter(|r| r.key.spec == spec)
+            .map(|r| vec![r.key.bench.clone(), format!("{:.2}", r.mispredict_pct())])
+            .collect();
+        CampaignArtifact {
+            name: "example".to_string(),
+            engine_version: ENGINE_VERSION.to_string(),
+            seed: DEFAULT_SEED_BASE,
+            experiments: vec![ExperimentData {
+                id: "example".to_string(),
+                title: format!("{spec} on {}", bench.name()),
+                tables: vec![TableData {
+                    title: "mispredict %".to_string(),
+                    columns: vec!["benchmark".to_string(), "%".to_string()],
+                    rows,
+                }],
+            }],
+        }
+    };
+    let a = artifact_for(specs[0]);
+    let b = artifact_for(specs[1]);
+    for artifact in [&a, &b] {
+        println!("{}:", artifact.experiments[0].title);
+        for row in &artifact.experiments[0].tables[0].rows {
+            println!("  {:<12} {}%", row[0], row[1]);
+        }
+    }
+    let d = diff(&a, &b, 0.0);
+    println!(
+        "\ndiff (tolerance 0): {} cell(s) compared",
+        d.cells_compared
+    );
+    if d.is_clean() {
+        println!("no differences — both predictors mispredict identically");
+    } else {
+        print!("{}", d.report());
+    }
+
+    std::fs::remove_dir_all(&root).map_err(|e| e.to_string())?;
+    Ok(())
+}

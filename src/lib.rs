@@ -11,6 +11,8 @@
 //! * [`model`] ([`bpred_model`]) — the paper's analytical model.
 //! * [`sim`] ([`bpred_sim`]) — the simulation engine and the experiment
 //!   harness reproducing every table and figure.
+//! * [`results`] ([`bpred_results`]) — the persistent results store
+//!   (fingerprinted cells, resume) and campaign artifacts/diffing.
 //!
 //! See the repository `README.md` for a tour, `DESIGN.md` for the system
 //! inventory, `EXPERIMENTS.md` for paper-vs-measured results, and
@@ -81,5 +83,6 @@
 pub use bpred_aliasing as aliasing;
 pub use bpred_core as core;
 pub use bpred_model as model;
+pub use bpred_results as results;
 pub use bpred_sim as sim;
 pub use bpred_trace as trace;

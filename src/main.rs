@@ -1,0 +1,8 @@
+//! `gskew` binary — the same CLI as `bpsim`, exposed from the workspace
+//! root so `cargo run --release -- <command>` works without `-p`.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    bpred_cli::cli_main()
+}

@@ -1,4 +1,7 @@
-//! Shared helpers for the criterion benchmarks.
+//! Shared helpers for the criterion benchmarks, plus [`kernel_bench`],
+//! the tracked dyn-vs-kernel throughput measurement behind `bpsim bench`.
+
+pub mod kernel_bench;
 
 use bpred_trace::record::BranchRecord;
 use bpred_trace::stream::TraceSourceExt;

@@ -28,6 +28,7 @@ const VALUED: &[&str] = &[
     "tol",
     "results-dir",
     "budget",
+    "min-speedup",
 ];
 
 impl Args {

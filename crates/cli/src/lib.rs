@@ -29,7 +29,8 @@ use bpred_results::store::{self, ResultsStore};
 use bpred_sim::engine;
 use bpred_sim::experiments::{self, ExperimentOpts};
 use bpred_sim::resume;
-use bpred_sim::{campaign, report};
+use bpred_sim::runner::default_threads;
+use bpred_sim::{campaign, kernel, report, timing};
 use bpred_trace::cache as trace_cache;
 use bpred_trace::io as trace_io;
 use bpred_trace::io2 as trace_io2;
@@ -51,6 +52,7 @@ USAGE:
   bpsim compare <spec> <spec> ... [--bench <name>] [--len N]
   bpsim duel <specA> <specB> [--bench <name>] [--len N]
   bpsim sweep --pred <spec with {h}> [--bench <name>] [--len N]
+  bpsim bench [--quick] [--out FILE] [--threads T] [--min-speedup X]
   bpsim campaign list
   bpsim campaign <name> [--out FILE] [--threads T]
   bpsim campaign diff <baseline> <candidate> [--tol T]
@@ -68,8 +70,9 @@ Global options:
   --results-dir DIR  results store location (default .gskew/results)
   --no-trace-cache   regenerate workload streams on every use instead of
                      memoizing materialized traces (streaming memory profile)
-  --verbose          print trace-cache and results-store summaries
-                     (hits/misses, cells skipped/simulated/saved)
+  --verbose          print trace-cache, results-store and engine-throughput
+                     summaries (hits/misses, cells skipped/simulated/saved,
+                     records/sec on the kernel and dyn simulation paths)
 
 Environment:
   GSKEW_THREADS      default worker-thread count for parallel sweeps
@@ -130,6 +133,7 @@ pub fn dispatch(raw: Vec<String>) -> Result<(), String> {
         Some("compare") => cmd_compare(&args),
         Some("duel") => cmd_duel(&args),
         Some("sweep") => cmd_sweep(&args),
+        Some("bench") => cmd_bench(&args),
         Some("campaign") => cmd_campaign(&args),
         Some("results") => cmd_results(&args),
         Some("trace") => cmd_trace(&args),
@@ -138,6 +142,7 @@ pub fn dispatch(raw: Vec<String>) -> Result<(), String> {
     if result.is_ok() && args.flag("verbose") {
         print_cache_summary();
         print_resume_summary();
+        print_timing_summary();
     }
     // Detach so repeated `dispatch` calls in one process (tests) start
     // clean; the store flushes its index on every put, nothing to close.
@@ -180,6 +185,31 @@ fn print_resume_summary() {
         "results store: {} cells skipped (resumed), {} cells simulated, {} records saved",
         stats.cells_skipped, stats.cells_simulated, stats.records_saved,
     );
+}
+
+fn print_timing_summary() {
+    let t = timing::stats();
+    if t.kernel_applications == 0 && t.dyn_applications == 0 {
+        return;
+    }
+    // Rates are per-core (durations summed across workers), so the two
+    // paths stay comparable regardless of thread counts.
+    if t.kernel_applications > 0 {
+        eprintln!(
+            "engine (kernel): {} record applications in {:.2}s CPU ({:.1} M records/s)",
+            t.kernel_applications,
+            t.kernel_seconds(),
+            t.kernel_rate() / 1e6,
+        );
+    }
+    if t.dyn_applications > 0 {
+        eprintln!(
+            "engine (dyn):    {} record applications in {:.2}s CPU ({:.1} M records/s)",
+            t.dyn_applications,
+            t.dyn_seconds(),
+            t.dyn_rate() / 1e6,
+        );
+    }
 }
 
 fn cmd_list() -> Result<(), String> {
@@ -356,17 +386,22 @@ fn cmd_compare(args: &Args) -> Result<(), String> {
         print!(" {:>10}", b.name());
     }
     println!(" {:>10}", "mean");
-    // One materialized trace per benchmark, every spec driven over it in
-    // a single batched pass.
+    // One materialized trace per benchmark; specs with a kernel fast
+    // path run as monomorphized loops over the shared column view, the
+    // rest ride one batched dyn pass.
     let mut per_spec_pcts = vec![Vec::new(); specs.len()];
     for &bench in &benches {
         let len = len_override.unwrap_or_else(|| bench.default_len());
         let trace = trace_cache::materialize_seeded(bench, len, seed);
-        let mut predictors = specs
-            .iter()
-            .map(|spec| parse_spec(spec).map_err(|e| e.to_string()))
-            .collect::<Result<Vec<_>, _>>()?;
-        let results = engine::run_many(&mut predictors, &trace, engine::NovelPolicy::Count);
+        let cols = trace_cache::columns_seeded(bench, len, seed);
+        let results = kernel::run_specs(
+            &specs,
+            &trace,
+            &cols,
+            engine::NovelPolicy::Count,
+            default_threads(),
+        )
+        .map_err(|e| e.to_string())?;
         for (pcts, result) in per_spec_pcts.iter_mut().zip(results) {
             pcts.push(result.mispredict_pct());
         }
@@ -445,23 +480,27 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
     }
     println!();
     const HISTORIES: std::ops::RangeInclusive<u32> = 0..=16;
-    // All 17 history lengths ride one pass per benchmark: materialize the
-    // trace once and drive the whole predictor column together.
+    // All 17 history lengths ride one pass per benchmark: kernels over
+    // the shared column view where supported, one batched dyn pass for
+    // the rest.
+    let specs: Vec<String> = HISTORIES
+        .map(|h| template.replace("{h}", &h.to_string()))
+        .collect();
     let mut columns = Vec::new();
     for &bench in &benches {
         let len = len_override.unwrap_or_else(|| bench.default_len());
         let trace = trace_cache::materialize_seeded(bench, len, seed);
-        let mut predictors = HISTORIES
-            .map(|h| {
-                let spec = template.replace("{h}", &h.to_string());
-                parse_spec(&spec).map_err(|e| e.to_string())
-            })
-            .collect::<Result<Vec<_>, _>>()?;
-        columns.push(engine::run_many(
-            &mut predictors,
-            &trace,
-            engine::NovelPolicy::Count,
-        ));
+        let cols = trace_cache::columns_seeded(bench, len, seed);
+        columns.push(
+            kernel::run_specs(
+                &specs,
+                &trace,
+                &cols,
+                engine::NovelPolicy::Count,
+                default_threads(),
+            )
+            .map_err(|e| e.to_string())?,
+        );
     }
     for (row, h) in HISTORIES.enumerate() {
         print!("{h:<4}");
@@ -469,6 +508,64 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
             print!(" {:>9.2}%", column[row].mispredict_pct());
         }
         println!();
+    }
+    Ok(())
+}
+
+fn cmd_bench(args: &Args) -> Result<(), String> {
+    use bpred_bench::kernel_bench;
+    let quick = args.flag("quick");
+    let threads = match args.option_u64("threads")? {
+        Some(t) => (t.max(1)) as usize,
+        None => default_threads(),
+    };
+    let min_speedup = args.option_f64("min-speedup")?.unwrap_or(1.0);
+    if min_speedup.is_nan() || min_speedup < 0.0 {
+        return Err(format!(
+            "--min-speedup must be a nonnegative number, got {min_speedup}"
+        ));
+    }
+    let out = args.option("out").unwrap_or("BENCH_kernels.json");
+    let cases = kernel_bench::default_cases();
+    let report = kernel_bench::run(&cases, quick, threads);
+
+    println!(
+        "{:<16} {:>6} {:>14} {:>12} {:>12} {:>9}  match",
+        "case", "specs", "record-apps", "dyn M/s", "kernel M/s", "speedup"
+    );
+    for case in &report.cases {
+        println!(
+            "{:<16} {:>6} {:>14} {:>12.1} {:>12.1} {:>8.2}x  {}",
+            case.name,
+            case.specs,
+            case.applications,
+            case.dyn_rate() / 1e6,
+            case.kernel_rate() / 1e6,
+            case.speedup(),
+            if case.matched { "ok" } else { "MISMATCH" },
+        );
+    }
+    println!(
+        "overall: {} record applications, dyn {:.2}s vs kernel {:.2}s CPU -> {:.2}x speedup",
+        report.applications(),
+        report.dyn_seconds(),
+        report.kernel_seconds(),
+        report.speedup()
+    );
+    store::write_atomic(
+        std::path::Path::new(out),
+        report.to_json().to_string_compact().as_bytes(),
+    )?;
+    println!("wrote {out}");
+
+    if !report.all_matched() {
+        return Err("kernel results diverged from the dyn engine (see MISMATCH rows)".into());
+    }
+    if report.speedup() < min_speedup {
+        return Err(format!(
+            "kernel speedup {:.2}x is below the required {min_speedup}x",
+            report.speedup()
+        ));
     }
     Ok(())
 }

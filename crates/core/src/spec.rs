@@ -127,7 +127,338 @@ impl Params {
     }
 }
 
-/// Build a predictor from a spec string.
+/// A structured predictor description: the parsed form of a spec string,
+/// before any table is allocated.
+///
+/// Splitting [`parse_spec`] into [`PredictorSpec::parse`] (cheap, pure)
+/// and [`PredictorSpec::build`] (allocates the predictor) lets callers
+/// inspect *what* a spec asks for without paying for it — the simulation
+/// kernels in `bpred-sim` match on this enum to pick a monomorphized fast
+/// path for the tag-less table predictors and fall back to
+/// [`build`](PredictorSpec::build) for everything else.
+///
+/// Parameter *range* validation stays in the predictor constructors, so
+/// `parse` accepts e.g. `gshare:n=0` and the error surfaces at `build`,
+/// exactly as it did when parsing and construction were fused.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // field meanings are the spec-string keys documented above
+pub enum PredictorSpec {
+    /// `bimodal`: address-indexed counter table.
+    Bimodal { n: u32, ctr: CounterKind },
+    /// `gshare`: address XOR history.
+    Gshare { n: u32, h: u32, ctr: CounterKind },
+    /// `gselect`: address/history concatenation.
+    Gselect { n: u32, h: u32, ctr: CounterKind },
+    /// `gskew` / `egskew`: the skewed predictor family. `enhanced` is the
+    /// e-gskew bank-0 address indexing; `skewing: false` is the
+    /// identical-indexing ablation (`skew=off`).
+    Gskew {
+        n: u32,
+        h: u32,
+        banks: usize,
+        ctr: CounterKind,
+        update: UpdatePolicy,
+        enhanced: bool,
+        skewing: bool,
+    },
+    /// `agree`: biasing-bit agree predictor.
+    Agree {
+        n: u32,
+        h: u32,
+        bias: u32,
+        ctr: CounterKind,
+    },
+    /// `bimode`: choice-steered taken/not-taken tables.
+    BiMode {
+        n: u32,
+        h: u32,
+        choice: u32,
+        ctr: CounterKind,
+    },
+    /// `pas`: per-address two-level predictor.
+    Pas {
+        bht: u32,
+        l: u32,
+        n: u32,
+        ctr: CounterKind,
+    },
+    /// `spas`: skewed per-address predictor.
+    Spas {
+        bht: u32,
+        l: u32,
+        n: u32,
+        ctr: CounterKind,
+        update: UpdatePolicy,
+    },
+    /// `ideal`: the unaliased (infinite-table) predictor.
+    Ideal { h: u32, ctr: CounterKind },
+    /// `falru`: fully-associative tagged LRU table.
+    Falru {
+        cap: usize,
+        h: u32,
+        ctr: CounterKind,
+        miss: MissPolicy,
+    },
+    /// `setassoc`: set-associative tagged table.
+    SetAssoc {
+        n: u32,
+        ways: usize,
+        h: u32,
+        ctr: CounterKind,
+        miss: MissPolicy,
+    },
+    /// `mcfarling`: bimodal+gshare combining predictor.
+    McFarling { n: u32, h: u32, ctr: CounterKind },
+    /// `shgskew`: shared-hysteresis gskew.
+    Shgskew {
+        n: u32,
+        h: u32,
+        update: UpdatePolicy,
+    },
+    /// `2bcgskew`: EV8-style hybrid.
+    TwoBcGskew { n: u32, h: u32 },
+    /// `always-taken`.
+    AlwaysTaken,
+    /// `always-nottaken`.
+    AlwaysNotTaken,
+}
+
+impl PredictorSpec {
+    /// Parse a spec string into its structured form without building the
+    /// predictor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] for unknown predictor names and malformed,
+    /// unknown or non-numeric keys. Out-of-range *values* (`gshare:n=0`)
+    /// parse fine and fail at [`build`](Self::build).
+    pub fn parse(spec: &str) -> Result<PredictorSpec, ConfigError> {
+        let (name, body) = match spec.split_once(':') {
+            Some((n, b)) => (n.trim(), b),
+            None => (spec.trim(), ""),
+        };
+        let mut p = Params::parse(body)?;
+        let parsed = match name {
+            "bimodal" => {
+                let n = p.u32("n", 12)?;
+                let ctr = p.counter(CounterKind::TwoBit)?;
+                p.finish()?;
+                PredictorSpec::Bimodal { n, ctr }
+            }
+            "gshare" => {
+                let n = p.u32("n", 12)?;
+                let h = p.u32("h", 8)?;
+                let ctr = p.counter(CounterKind::TwoBit)?;
+                p.finish()?;
+                PredictorSpec::Gshare { n, h, ctr }
+            }
+            "gselect" => {
+                let n = p.u32("n", 12)?;
+                let h = p.u32("h", 8)?;
+                let ctr = p.counter(CounterKind::TwoBit)?;
+                p.finish()?;
+                PredictorSpec::Gselect { n, h, ctr }
+            }
+            "gskew" | "egskew" => {
+                let n = p.u32("n", 12)?;
+                let h = p.u32("h", 8)?;
+                let banks = p.usize("banks", 3)?;
+                let ctr = p.counter(CounterKind::TwoBit)?;
+                let update = p.update_policy()?;
+                let skewing = match p.map.remove("skew").as_deref() {
+                    None | Some("on") => true,
+                    Some("off") => false,
+                    Some(v) => {
+                        return Err(ConfigError::Parse(format!(
+                            "`skew` must be on|off, got `{v}`"
+                        )))
+                    }
+                };
+                p.finish()?;
+                PredictorSpec::Gskew {
+                    n,
+                    h,
+                    banks,
+                    ctr,
+                    update,
+                    enhanced: name == "egskew",
+                    skewing,
+                }
+            }
+            "agree" => {
+                let n = p.u32("n", 12)?;
+                let h = p.u32("h", 8)?;
+                let bias = p.u32("bias", 0)?;
+                let ctr = p.counter(CounterKind::TwoBit)?;
+                p.finish()?;
+                let bias = if bias == 0 { n } else { bias };
+                PredictorSpec::Agree { n, h, bias, ctr }
+            }
+            "bimode" => {
+                let n = p.u32("n", 12)?;
+                let h = p.u32("h", 8)?;
+                let choice = p.u32("choice", 0)?;
+                let ctr = p.counter(CounterKind::TwoBit)?;
+                p.finish()?;
+                let choice = if choice == 0 { n } else { choice };
+                PredictorSpec::BiMode { n, h, choice, ctr }
+            }
+            "pas" => {
+                let bht = p.u32("bht", 10)?;
+                let l = p.u32("l", 8)?;
+                let n = p.u32("n", 12)?;
+                let ctr = p.counter(CounterKind::TwoBit)?;
+                p.finish()?;
+                PredictorSpec::Pas { bht, l, n, ctr }
+            }
+            "spas" => {
+                let bht = p.u32("bht", 10)?;
+                let l = p.u32("l", 8)?;
+                let n = p.u32("n", 10)?;
+                let ctr = p.counter(CounterKind::TwoBit)?;
+                let update = p.update_policy()?;
+                p.finish()?;
+                PredictorSpec::Spas {
+                    bht,
+                    l,
+                    n,
+                    ctr,
+                    update,
+                }
+            }
+            "ideal" => {
+                let h = p.u32("h", 8)?;
+                let ctr = p.counter(CounterKind::TwoBit)?;
+                p.finish()?;
+                PredictorSpec::Ideal { h, ctr }
+            }
+            "falru" => {
+                let cap = p.usize("cap", 4096)?;
+                let h = p.u32("h", 8)?;
+                let ctr = p.counter(CounterKind::TwoBit)?;
+                let miss = p.miss_policy()?;
+                p.finish()?;
+                PredictorSpec::Falru { cap, h, ctr, miss }
+            }
+            "setassoc" => {
+                let n = p.u32("n", 10)?;
+                let ways = p.usize("ways", 4)?;
+                let h = p.u32("h", 8)?;
+                let ctr = p.counter(CounterKind::TwoBit)?;
+                let miss = p.miss_policy()?;
+                p.finish()?;
+                PredictorSpec::SetAssoc {
+                    n,
+                    ways,
+                    h,
+                    ctr,
+                    miss,
+                }
+            }
+            "mcfarling" => {
+                let n = p.u32("n", 12)?;
+                let h = p.u32("h", 8)?;
+                let ctr = p.counter(CounterKind::TwoBit)?;
+                p.finish()?;
+                PredictorSpec::McFarling { n, h, ctr }
+            }
+            "shgskew" => {
+                let n = p.u32("n", 12)?;
+                let h = p.u32("h", 8)?;
+                let update = p.update_policy()?;
+                p.finish()?;
+                PredictorSpec::Shgskew { n, h, update }
+            }
+            "2bcgskew" => {
+                let n = p.u32("n", 12)?;
+                let h = p.u32("h", 12)?;
+                p.finish()?;
+                PredictorSpec::TwoBcGskew { n, h }
+            }
+            "always-taken" => {
+                p.finish()?;
+                PredictorSpec::AlwaysTaken
+            }
+            "always-nottaken" => {
+                p.finish()?;
+                PredictorSpec::AlwaysNotTaken
+            }
+            other => return Err(ConfigError::UnknownPredictor(other.to_string())),
+        };
+        Ok(parsed)
+    }
+
+    /// Allocate the predictor this spec describes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] when a parameter is out of its legal range
+    /// (constructor validation).
+    pub fn build(&self) -> Result<Box<dyn BranchPredictor>, ConfigError> {
+        let boxed: Box<dyn BranchPredictor> = match *self {
+            PredictorSpec::Bimodal { n, ctr } => Box::new(Bimodal::new(n, ctr)?),
+            PredictorSpec::Gshare { n, h, ctr } => Box::new(Gshare::new(n, h, ctr)?),
+            PredictorSpec::Gselect { n, h, ctr } => Box::new(Gselect::new(n, h, ctr)?),
+            PredictorSpec::Gskew {
+                n,
+                h,
+                banks,
+                ctr,
+                update,
+                enhanced,
+                skewing,
+            } => Box::new(
+                Gskew::builder()
+                    .banks(banks)
+                    .bank_entries_log2(n)
+                    .history_bits(h)
+                    .counter(ctr)
+                    .update_policy(update)
+                    .enhanced(enhanced)
+                    .identical_indexing(!skewing)
+                    .build()?,
+            ),
+            PredictorSpec::Agree { n, h, bias, ctr } => Box::new(Agree::new(n, h, bias, ctr)?),
+            PredictorSpec::BiMode { n, h, choice, ctr } => {
+                Box::new(BiMode::new(n, h, choice, ctr)?)
+            }
+            PredictorSpec::Pas { bht, l, n, ctr } => Box::new(Pas::new(bht, l, n, ctr)?),
+            PredictorSpec::Spas {
+                bht,
+                l,
+                n,
+                ctr,
+                update,
+            } => Box::new(SkewedPas::new(bht, l, n, ctr, update)?),
+            PredictorSpec::Ideal { h, ctr } => Box::new(Ideal::new(h, ctr)?),
+            PredictorSpec::Falru { cap, h, ctr, miss } => {
+                Box::new(FullyAssociative::new(cap, h, ctr)?.with_miss_policy(miss))
+            }
+            PredictorSpec::SetAssoc {
+                n,
+                ways,
+                h,
+                ctr,
+                miss,
+            } => Box::new(SetAssociative::new(n, ways, h, ctr)?.with_miss_policy(miss)),
+            PredictorSpec::McFarling { n, h, ctr } => Box::new(McFarling::new(
+                Box::new(Bimodal::new(n, ctr)?),
+                Box::new(Gshare::new(n, h, ctr)?),
+                n,
+            )?),
+            PredictorSpec::Shgskew { n, h, update } => {
+                Box::new(SharedHysteresisGskew::with_policy(n, h, update)?)
+            }
+            PredictorSpec::TwoBcGskew { n, h } => Box::new(TwoBcGskew::new(n, h)?),
+            PredictorSpec::AlwaysTaken => Box::new(AlwaysTaken::new()),
+            PredictorSpec::AlwaysNotTaken => Box::new(AlwaysNotTaken::new()),
+        };
+        Ok(boxed)
+    }
+}
+
+/// Build a predictor from a spec string:
+/// [`PredictorSpec::parse`] followed by [`PredictorSpec::build`].
 ///
 /// # Errors
 ///
@@ -142,153 +473,7 @@ impl Params {
 /// # Ok::<(), bpred_core::error::ConfigError>(())
 /// ```
 pub fn parse_spec(spec: &str) -> Result<Box<dyn BranchPredictor>, ConfigError> {
-    let (name, body) = match spec.split_once(':') {
-        Some((n, b)) => (n.trim(), b),
-        None => (spec.trim(), ""),
-    };
-    let mut p = Params::parse(body)?;
-    let boxed: Box<dyn BranchPredictor> = match name {
-        "bimodal" => {
-            let n = p.u32("n", 12)?;
-            let ctr = p.counter(CounterKind::TwoBit)?;
-            p.finish()?;
-            Box::new(Bimodal::new(n, ctr)?)
-        }
-        "gshare" => {
-            let n = p.u32("n", 12)?;
-            let h = p.u32("h", 8)?;
-            let ctr = p.counter(CounterKind::TwoBit)?;
-            p.finish()?;
-            Box::new(Gshare::new(n, h, ctr)?)
-        }
-        "gselect" => {
-            let n = p.u32("n", 12)?;
-            let h = p.u32("h", 8)?;
-            let ctr = p.counter(CounterKind::TwoBit)?;
-            p.finish()?;
-            Box::new(Gselect::new(n, h, ctr)?)
-        }
-        "gskew" | "egskew" => {
-            let n = p.u32("n", 12)?;
-            let h = p.u32("h", 8)?;
-            let banks = p.usize("banks", 3)?;
-            let ctr = p.counter(CounterKind::TwoBit)?;
-            let update = p.update_policy()?;
-            let skewing = match p.map.remove("skew").as_deref() {
-                None | Some("on") => true,
-                Some("off") => false,
-                Some(v) => {
-                    return Err(ConfigError::Parse(format!(
-                        "`skew` must be on|off, got `{v}`"
-                    )))
-                }
-            };
-            p.finish()?;
-            Box::new(
-                Gskew::builder()
-                    .banks(banks)
-                    .bank_entries_log2(n)
-                    .history_bits(h)
-                    .counter(ctr)
-                    .update_policy(update)
-                    .enhanced(name == "egskew")
-                    .identical_indexing(!skewing)
-                    .build()?,
-            )
-        }
-        "agree" => {
-            let n = p.u32("n", 12)?;
-            let h = p.u32("h", 8)?;
-            let bias = p.u32("bias", 0)?;
-            let ctr = p.counter(CounterKind::TwoBit)?;
-            p.finish()?;
-            let bias = if bias == 0 { n } else { bias };
-            Box::new(Agree::new(n, h, bias, ctr)?)
-        }
-        "bimode" => {
-            let n = p.u32("n", 12)?;
-            let h = p.u32("h", 8)?;
-            let choice = p.u32("choice", 0)?;
-            let ctr = p.counter(CounterKind::TwoBit)?;
-            p.finish()?;
-            let choice = if choice == 0 { n } else { choice };
-            Box::new(BiMode::new(n, h, choice, ctr)?)
-        }
-        "pas" => {
-            let bht = p.u32("bht", 10)?;
-            let l = p.u32("l", 8)?;
-            let n = p.u32("n", 12)?;
-            let ctr = p.counter(CounterKind::TwoBit)?;
-            p.finish()?;
-            Box::new(Pas::new(bht, l, n, ctr)?)
-        }
-        "spas" => {
-            let bht = p.u32("bht", 10)?;
-            let l = p.u32("l", 8)?;
-            let n = p.u32("n", 10)?;
-            let ctr = p.counter(CounterKind::TwoBit)?;
-            let update = p.update_policy()?;
-            p.finish()?;
-            Box::new(SkewedPas::new(bht, l, n, ctr, update)?)
-        }
-        "ideal" => {
-            let h = p.u32("h", 8)?;
-            let ctr = p.counter(CounterKind::TwoBit)?;
-            p.finish()?;
-            Box::new(Ideal::new(h, ctr)?)
-        }
-        "falru" => {
-            let cap = p.usize("cap", 4096)?;
-            let h = p.u32("h", 8)?;
-            let ctr = p.counter(CounterKind::TwoBit)?;
-            let miss = p.miss_policy()?;
-            p.finish()?;
-            Box::new(FullyAssociative::new(cap, h, ctr)?.with_miss_policy(miss))
-        }
-        "setassoc" => {
-            let n = p.u32("n", 10)?;
-            let ways = p.usize("ways", 4)?;
-            let h = p.u32("h", 8)?;
-            let ctr = p.counter(CounterKind::TwoBit)?;
-            let miss = p.miss_policy()?;
-            p.finish()?;
-            Box::new(SetAssociative::new(n, ways, h, ctr)?.with_miss_policy(miss))
-        }
-        "mcfarling" => {
-            let n = p.u32("n", 12)?;
-            let h = p.u32("h", 8)?;
-            let ctr = p.counter(CounterKind::TwoBit)?;
-            p.finish()?;
-            Box::new(McFarling::new(
-                Box::new(Bimodal::new(n, ctr)?),
-                Box::new(Gshare::new(n, h, ctr)?),
-                n,
-            )?)
-        }
-        "shgskew" => {
-            let n = p.u32("n", 12)?;
-            let h = p.u32("h", 8)?;
-            let update = p.update_policy()?;
-            p.finish()?;
-            Box::new(SharedHysteresisGskew::with_policy(n, h, update)?)
-        }
-        "2bcgskew" => {
-            let n = p.u32("n", 12)?;
-            let h = p.u32("h", 12)?;
-            p.finish()?;
-            Box::new(TwoBcGskew::new(n, h)?)
-        }
-        "always-taken" => {
-            p.finish()?;
-            Box::new(AlwaysTaken::new())
-        }
-        "always-nottaken" => {
-            p.finish()?;
-            Box::new(AlwaysNotTaken::new())
-        }
-        other => return Err(ConfigError::UnknownPredictor(other.to_string())),
-    };
-    Ok(boxed)
+    PredictorSpec::parse(spec)?.build()
 }
 
 #[cfg(test)]
@@ -390,5 +575,61 @@ mod tests {
     fn egskew_is_enhanced() {
         let p = parse_spec("egskew:n=10,h=11").unwrap();
         assert!(p.name().starts_with("egskew"));
+    }
+
+    #[test]
+    fn structured_parse_carries_every_knob() {
+        assert_eq!(
+            PredictorSpec::parse("gskew:n=10,h=6,banks=5,update=total,skew=off").unwrap(),
+            PredictorSpec::Gskew {
+                n: 10,
+                h: 6,
+                banks: 5,
+                ctr: CounterKind::TwoBit,
+                update: UpdatePolicy::Total,
+                enhanced: false,
+                skewing: false,
+            }
+        );
+        assert_eq!(
+            PredictorSpec::parse("egskew:n=12,h=11").unwrap(),
+            PredictorSpec::Gskew {
+                n: 12,
+                h: 11,
+                banks: 3,
+                ctr: CounterKind::TwoBit,
+                update: UpdatePolicy::Partial,
+                enhanced: true,
+                skewing: true,
+            }
+        );
+        assert_eq!(
+            PredictorSpec::parse("gshare:n=14,h=4,ctr=1").unwrap(),
+            PredictorSpec::Gshare {
+                n: 14,
+                h: 4,
+                ctr: CounterKind::OneBit,
+            }
+        );
+    }
+
+    #[test]
+    fn out_of_range_values_parse_but_fail_to_build() {
+        // Range validation lives in the constructors: `parse` is happy,
+        // `build` reports the same error `parse_spec` always did.
+        let spec = PredictorSpec::parse("gshare:n=0").unwrap();
+        assert!(spec.build().is_err());
+        let spec = PredictorSpec::parse("gskew:banks=2").unwrap();
+        assert!(spec.build().is_err());
+    }
+
+    #[test]
+    fn structured_build_matches_fused_parse() {
+        for spec in ["gshare:n=12,h=8", "gskew:n=10,h=4", "mcfarling:n=10,h=8"] {
+            let fused = parse_spec(spec).unwrap();
+            let staged = PredictorSpec::parse(spec).unwrap().build().unwrap();
+            assert_eq!(fused.name(), staged.name());
+            assert_eq!(fused.storage_bits(), staged.storage_bits());
+        }
     }
 }

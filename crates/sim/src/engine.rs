@@ -1,8 +1,10 @@
 //! The trace-driven simulation engine: drive any predictor over any record
 //! stream and account mispredictions.
 
+use crate::timing;
 use bpred_core::predictor::{BranchPredictor, Outcome};
 use bpred_trace::record::{BranchKind, BranchRecord};
+use std::time::Instant;
 
 /// How predictions flagged *novel* (first encounter of a substream, only
 /// produced by the ideal and tagged predictors) are accounted.
@@ -79,9 +81,12 @@ pub fn run_warm(
     novel_policy: NovelPolicy,
     warmup: u64,
 ) -> RunResult {
+    let start = Instant::now();
     let mut result = RunResult::default();
     let mut seen = 0u64;
+    let mut applications = 0u64;
     for record in records {
+        applications += 1;
         if record.kind == BranchKind::Conditional {
             seen += 1;
             let prediction = predictor.predict(record.pc);
@@ -101,6 +106,7 @@ pub fn run_warm(
             predictor.record_unconditional(record.pc);
         }
     }
+    timing::record_dyn(applications, start.elapsed());
     result
 }
 
@@ -119,6 +125,7 @@ pub fn run_many(
     records: &[BranchRecord],
     novel_policy: NovelPolicy,
 ) -> Vec<RunResult> {
+    let start = Instant::now();
     let mut results = vec![RunResult::default(); predictors.len()];
     for record in records {
         if record.kind == BranchKind::Conditional {
@@ -141,6 +148,10 @@ pub fn run_many(
             }
         }
     }
+    timing::record_dyn(
+        records.len() as u64 * predictors.len() as u64,
+        start.elapsed(),
+    );
     results
 }
 

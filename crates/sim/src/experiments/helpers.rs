@@ -2,11 +2,11 @@
 
 use super::ExperimentOpts;
 use crate::engine::{self, NovelPolicy, RunResult};
+use crate::kernel::{self, PredictorKernel};
 use crate::report::{pct, Table};
 use crate::resume;
 use crate::runner::parallel_map;
-use bpred_core::predictor::BranchPredictor;
-use bpred_core::spec::parse_spec;
+use bpred_core::spec::PredictorSpec;
 use bpred_results::record::CellKey;
 use bpred_trace::cache;
 use bpred_trace::record::BranchRecord;
@@ -62,7 +62,16 @@ pub fn sim_pct_with(spec: &str, bench: IbsBenchmark, len: u64, policy: NovelPoli
 fn sim_cell(spec: &str, bench: IbsBenchmark, len: u64, policy: NovelPolicy) -> RunResult {
     let seed = workload_seed();
     let simulate = || {
-        let mut predictor = parse_spec(spec).unwrap_or_else(|e| panic!("bad spec `{spec}`: {e}"));
+        // Kernel fast path when the spec has one (bit-identical to the
+        // dyn engine under either novel policy); `dyn` otherwise.
+        let structured =
+            PredictorSpec::parse(spec).unwrap_or_else(|e| panic!("bad spec `{spec}`: {e}"));
+        if let Some(mut kernel) = PredictorKernel::from_spec(&structured) {
+            return kernel.run(&cache::columns_seeded(bench, len, seed));
+        }
+        let mut predictor = structured
+            .build()
+            .unwrap_or_else(|e| panic!("bad spec `{spec}`: {e}"));
         engine::run_with(
             &mut predictor,
             cache::stream_seeded(bench, len, seed),
@@ -165,21 +174,26 @@ pub fn spec_sweep_table_with(
     let rows = row_labels.len();
     let seed = workload_seed();
     // One task per benchmark: the per-benchmark trace is the shared
-    // resource, so it is also the unit of parallelism. With a results
-    // store attached, stored rows are adopted and only the missing ones
-    // ride the batched `run_many` pass.
+    // resource, so it is also the unit of parallelism. Within a
+    // benchmark, rows route through `kernel::run_specs` — supported
+    // specs run as monomorphized kernels split across the leftover
+    // worker budget, the rest ride one batched `run_many` pass. With a
+    // results store attached, stored rows are adopted and only the
+    // missing ones are simulated.
+    let inner_threads = (opts.threads / IbsBenchmark::all().len()).max(1);
     let per_bench: Vec<Vec<f64>> =
         parallel_map(IbsBenchmark::all().to_vec(), opts.threads, |bench| {
             let len = opts.len_for(bench);
             let specs: Vec<String> = (0..rows).map(&spec_for_row).collect();
-            let parse = |spec: &str| -> Box<dyn BranchPredictor> {
-                parse_spec(spec).unwrap_or_else(|e| panic!("bad spec `{spec}`: {e}"))
+            let simulate = |specs: &[String]| -> Vec<RunResult> {
+                let trace = cache::materialize_seeded(bench, len, seed);
+                let cols = cache::columns_seeded(bench, len, seed);
+                kernel::run_specs(specs, &trace, &cols, policy, inner_threads)
+                    .unwrap_or_else(|e| panic!("bad spec in sweep: {e}"))
             };
 
             if !resume::is_active() {
-                let trace = cache::materialize_seeded(bench, len, seed);
-                let mut predictors: Vec<_> = specs.iter().map(|s| parse(s)).collect();
-                return engine::run_many(&mut predictors, &trace, policy)
+                return simulate(&specs)
                     .into_iter()
                     .map(|r| r.mispredict_pct())
                     .collect();
@@ -195,11 +209,10 @@ pub fn spec_sweep_table_with(
                 .collect();
             let missing: Vec<usize> = (0..rows).filter(|&row| results[row].is_none()).collect();
             if !missing.is_empty() {
-                let trace = cache::materialize_seeded(bench, len, seed);
-                let mut predictors: Vec<_> =
-                    missing.iter().map(|&row| parse(&specs[row])).collect();
+                let missing_specs: Vec<String> =
+                    missing.iter().map(|&row| specs[row].clone()).collect();
                 let start = Instant::now();
-                let simulated = engine::run_many(&mut predictors, &trace, policy);
+                let simulated = simulate(&missing_specs);
                 // The trace walk is shared; bill it evenly per cell.
                 let per_cell_ms = start.elapsed().as_secs_f64() * 1e3 / missing.len() as f64;
                 for (&row, result) in missing.iter().zip(simulated) {

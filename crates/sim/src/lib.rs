@@ -13,6 +13,11 @@
 //!   `table2`, `fig1` … `fig12`, ablations and extensions), each emitting
 //!   renderable tables.
 //! * [`report`] — aligned-text and CSV table rendering.
+//! * [`kernel`] — monomorphized batch run loops for the tag-less table
+//!   predictors, bit-identical to the `dyn` engine but walking
+//!   structure-of-arrays trace columns.
+//! * [`timing`] — process-wide records/sec counters for the kernel and
+//!   `dyn` paths.
 //! * [`runner`] — order-preserving parallel sweeps.
 //! * [`resume`] — results-store integration: persist simulated cells and
 //!   skip fingerprint-identical ones on reruns.
@@ -37,15 +42,19 @@ pub mod campaign;
 pub mod duel;
 pub mod engine;
 pub mod experiments;
+pub mod kernel;
 pub mod report;
 pub mod resume;
 pub mod runner;
+pub mod timing;
 
 /// Convenient re-exports of the most commonly used items.
 pub mod prelude {
     pub use crate::duel::{duel, DuelResult};
     pub use crate::engine::{run, run_many, run_with, NovelPolicy, RunResult};
     pub use crate::experiments::{ExperimentOpts, ExperimentOutput, ALL_IDS};
+    pub use crate::kernel::{run_specs, PredictorKernel};
     pub use crate::report::Table;
     pub use crate::runner::parallel_map;
+    pub use crate::timing::EngineTiming;
 }

@@ -1,13 +1,17 @@
 //! Order-preserving parallel execution of independent simulation tasks.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{mpsc, Mutex};
 
 /// Apply `f` to every item on up to `threads` worker threads, returning
 /// results in input order.
 ///
 /// Tasks are pulled from a shared index, so long tasks (large tables) are
-/// naturally balanced. With `threads <= 1` the map runs inline.
+/// naturally balanced. Items live in one shared vector guarded by a
+/// single mutex — a worker holds the lock just long enough to `take` its
+/// claimed slot — and results flow back over a channel tagged with their
+/// input index, so there is no per-slot lock traffic on either side.
+/// With `threads <= 1` the map runs inline.
 ///
 /// # Panics
 ///
@@ -22,34 +26,36 @@ where
     if threads <= 1 || n <= 1 {
         return items.into_iter().map(f).collect();
     }
-    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
-    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let slots: Mutex<Vec<Option<T>>> = Mutex::new(items.into_iter().map(Some).collect());
     let next = AtomicUsize::new(0);
     let workers = threads.min(n);
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
     std::thread::scope(|scope| {
+        let (slots, next, f) = (&slots, &next, &f);
         for _ in 0..workers {
-            scope.spawn(|| loop {
+            let tx = tx.clone();
+            scope.spawn(move || loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
                 }
-                let item = slots[i]
-                    .lock()
-                    .expect("task slot poisoned")
+                let item = slots.lock().expect("task queue poisoned")[i]
                     .take()
                     .expect("each slot is taken exactly once");
-                let r = f(item);
-                *results[i].lock().expect("result slot poisoned") = Some(r);
+                // Send only fails when the receiver is gone, which
+                // cannot happen while the scope holds `rx` alive.
+                let _ = tx.send((i, f(item)));
             });
         }
     });
+    drop(tx);
+    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    for (i, r) in rx {
+        results[i] = Some(r);
+    }
     results
         .into_iter()
-        .map(|m| {
-            m.into_inner()
-                .expect("result slot poisoned")
-                .expect("every task ran")
-        })
+        .map(|r| r.expect("every task ran"))
         .collect()
 }
 

@@ -28,6 +28,7 @@
 //!   tests must not, as test binaries run threads concurrently.
 
 use crate::record::BranchRecord;
+use crate::soa::TraceColumns;
 use crate::stream::TraceSourceExt;
 use crate::workload::{IbsBenchmark, DEFAULT_SEED_BASE};
 use std::collections::HashMap;
@@ -46,8 +47,18 @@ type Key = (IbsBenchmark, u64, u64);
 
 struct Entry {
     records: Arc<[BranchRecord]>,
+    /// The structure-of-arrays view, built lazily on the first
+    /// [`columns`]-style lookup and then shared; counted against the byte
+    /// budget alongside the records.
+    columns: Option<Arc<TraceColumns>>,
     /// Logical timestamp of the last hit; smallest is evicted first.
     stamp: u64,
+}
+
+impl Entry {
+    fn bytes(&self) -> usize {
+        LruCache::bytes_of(&self.records) + self.columns.as_ref().map_or(0, |c| c.heap_bytes())
+    }
 }
 
 /// The bounded LRU map (generation-agnostic: callers insert ready-made
@@ -92,26 +103,68 @@ impl LruCache {
         if bytes > self.capacity_bytes {
             return;
         }
-        while self.resident_bytes + bytes > self.capacity_bytes {
-            let oldest = self
-                .map
-                .iter()
-                .min_by_key(|(_, e)| e.stamp)
-                .map(|(k, _)| *k)
-                .expect("over capacity implies a resident entry");
-            let evicted = self.map.remove(&oldest).expect("key just found");
-            self.resident_bytes -= Self::bytes_of(&evicted.records);
-            self.evictions += 1;
-        }
+        self.evict_until(bytes, None);
         self.clock += 1;
         self.resident_bytes += bytes;
         self.map.insert(
             key,
             Entry {
                 records,
+                columns: None,
                 stamp: self.clock,
             },
         );
+    }
+
+    /// Evict least-recently-used entries (never `keep`) until `incoming`
+    /// extra bytes fit, or nothing evictable remains.
+    fn evict_until(&mut self, incoming: usize, keep: Option<&Key>) {
+        while self.resident_bytes + incoming > self.capacity_bytes {
+            let Some(oldest) = self
+                .map
+                .iter()
+                .filter(|(k, _)| Some(*k) != keep)
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(k, _)| *k)
+            else {
+                return;
+            };
+            let evicted = self.map.remove(&oldest).expect("key just found");
+            self.resident_bytes -= evicted.bytes();
+            self.evictions += 1;
+        }
+    }
+
+    /// The memoized column view for `key`, if present (bumps recency).
+    fn get_columns(&mut self, key: &Key) -> Option<Arc<TraceColumns>> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.map.get_mut(key).and_then(|e| {
+            e.stamp = clock;
+            e.columns.as_ref().map(Arc::clone)
+        })
+    }
+
+    /// Attach a freshly built column view to `key`'s entry, charging its
+    /// bytes against the budget (other entries may be evicted to make
+    /// room; the entry itself is never evicted for its own columns). On a
+    /// build race the first attach wins; returns the resident view.
+    fn attach_columns(&mut self, key: &Key, columns: Arc<TraceColumns>) -> Arc<TraceColumns> {
+        let Some(entry) = self.map.get(key) else {
+            // Entry evicted (or never stored) between lookup and attach:
+            // hand the caller its own allocation, uncached.
+            return columns;
+        };
+        if let Some(existing) = entry.columns.as_ref() {
+            return Arc::clone(existing);
+        }
+        let bytes = columns.heap_bytes();
+        self.evict_until(bytes, Some(key));
+        // The keep-filter guarantees the entry is still resident.
+        let entry = self.map.get_mut(key).expect("kept entry still resident");
+        entry.columns = Some(Arc::clone(&columns));
+        self.resident_bytes += bytes;
+        columns
     }
 }
 
@@ -228,6 +281,42 @@ pub fn materialize_seeded(bench: IbsBenchmark, len: u64, seed_base: u64) -> Arc<
     }
     guard.insert(key, Arc::clone(&generated));
     generated
+}
+
+/// The benchmark's trace as a memoized structure-of-arrays view (default
+/// workload seed) — see [`columns_seeded`].
+pub fn columns(bench: IbsBenchmark, len: u64) -> Arc<TraceColumns> {
+    columns_seeded(bench, len, DEFAULT_SEED_BASE)
+}
+
+/// The benchmark's trace as a structure-of-arrays view, built at most
+/// once per cached trace and memoized alongside the record slice: every
+/// caller passing the same `(bench, len, seed_base)` receives a clone of
+/// the same [`TraceColumns`] allocation. Column bytes are charged against
+/// the cache's byte budget like the records themselves. With the cache
+/// disabled the view is rebuilt per call, mirroring
+/// [`materialize_seeded`].
+pub fn columns_seeded(bench: IbsBenchmark, len: u64, seed_base: u64) -> Arc<TraceColumns> {
+    if !is_enabled() {
+        return Arc::new(TraceColumns::from_records(&generate(bench, len, seed_base)));
+    }
+    let key = (bench, len, seed_base);
+    if let Some(columns) = cache()
+        .lock()
+        .expect("trace cache poisoned")
+        .get_columns(&key)
+    {
+        return columns;
+    }
+    // Materialize (or fetch) the records first, then build the columns
+    // outside the lock; a same-key race is settled inside attach_columns
+    // (first attach wins, both builds are identical).
+    let records = materialize_seeded(bench, len, seed_base);
+    let built = Arc::new(TraceColumns::from_records(&records));
+    cache()
+        .lock()
+        .expect("trace cache poisoned")
+        .attach_columns(&key, built)
 }
 
 /// An owned iterator over a materialized trace: keeps the `Arc` alive and
@@ -390,6 +479,54 @@ mod tests {
         assert_eq!(it.len(), 5);
         it.next();
         assert_eq!(it.len(), 4);
+    }
+
+    #[test]
+    fn columns_are_memoized_per_trace() {
+        let first = columns(IbsBenchmark::Nroff, 2_200);
+        let second = columns(IbsBenchmark::Nroff, 2_200);
+        assert!(Arc::ptr_eq(&first, &second), "one build per cached trace");
+        let records = materialize(IbsBenchmark::Nroff, 2_200);
+        assert_eq!(first.len(), records.len());
+        let rebuilt = TraceColumns::from_records(&records);
+        assert_eq!(*first, rebuilt, "view matches a direct build");
+        let other_seed = columns_seeded(IbsBenchmark::Nroff, 2_200, 0x9999);
+        assert!(!Arc::ptr_eq(&first, &other_seed));
+    }
+
+    #[test]
+    fn column_bytes_ride_entry_eviction() {
+        let record_bytes = std::mem::size_of::<BranchRecord>();
+        let mut lru = LruCache::new(40 * record_bytes);
+        let a = (IbsBenchmark::Groff, 4, DEFAULT_SEED_BASE);
+        let records = dummy_records(4, 0x1000);
+        lru.insert(a, Arc::clone(&records));
+        let before = lru.resident_bytes;
+        let cols = Arc::new(TraceColumns::from_records(&records));
+        let attached = lru.attach_columns(&a, Arc::clone(&cols));
+        assert!(Arc::ptr_eq(&attached, &cols));
+        assert_eq!(lru.resident_bytes, before + cols.heap_bytes());
+        // A second attach (the race loser) adopts the resident view.
+        let loser = Arc::new(TraceColumns::from_records(&records));
+        let adopted = lru.attach_columns(&a, loser);
+        assert!(Arc::ptr_eq(&adopted, &cols));
+        // Re-served from the entry.
+        assert!(lru.get_columns(&a).is_some_and(|c| Arc::ptr_eq(&c, &cols)));
+        // Evicting the entry releases records + columns bytes together.
+        let big = (IbsBenchmark::Gs, 39, DEFAULT_SEED_BASE);
+        lru.insert(big, dummy_records(39, 0x2000));
+        assert!(lru.get_columns(&a).is_none(), "entry evicted wholesale");
+        assert_eq!(lru.resident_bytes, 39 * record_bytes);
+    }
+
+    #[test]
+    fn attach_to_missing_entry_returns_uncached() {
+        let mut lru = LruCache::new(1024);
+        let key = (IbsBenchmark::Verilog, 4, DEFAULT_SEED_BASE);
+        let cols = Arc::new(TraceColumns::from_records(&dummy_records(4, 0)));
+        let out = lru.attach_columns(&key, Arc::clone(&cols));
+        assert!(Arc::ptr_eq(&out, &cols));
+        assert_eq!(lru.resident_bytes, 0);
     }
 
     #[test]

@@ -12,6 +12,8 @@
 //! * [`cache`] — process-wide memoization of materialized benchmark
 //!   traces (`Arc<[BranchRecord]>` per `(benchmark, len)`), so repeated
 //!   sweeps generate each trace once.
+//! * [`soa`] — [`soa::TraceColumns`], the structure-of-arrays view of a
+//!   trace that the simulation kernels walk; memoized per cached trace.
 //! * [`program`] — the synthetic CFG program model and its
 //!   [`program::Walker`].
 //! * [`gen`] — random program generation with Zipf routine frequencies.
@@ -45,6 +47,7 @@ pub mod io2;
 pub mod mix;
 pub mod program;
 pub mod record;
+pub mod soa;
 pub mod stats;
 pub mod stream;
 pub mod workload;
@@ -57,6 +60,7 @@ pub mod prelude {
     pub use crate::mix::MultiProgram;
     pub use crate::program::{Block, Program, Terminator, Walker};
     pub use crate::record::{BranchKind, BranchRecord, Privilege};
+    pub use crate::soa::TraceColumns;
     pub use crate::stats::TraceStats;
     pub use crate::stream::{TraceSource, TraceSourceExt};
     pub use crate::workload::{IbsBenchmark, Workload, WorkloadSpec};

@@ -2,17 +2,6 @@
 
 use std::fmt;
 
-/// Implements `Display` by lowercasing the `Debug` name; local to this
-/// module's simple fieldless enums.
-macro_rules! fmt_display_via_debug_lowercase {
-    () => {
-        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-            let s = format!("{self:?}").to_lowercase();
-            f.write_str(&s)
-        }
-    };
-}
-
 /// The kind of a control-transfer instruction.
 ///
 /// The IBS traces the paper uses were captured on a MIPS DECstation, where
@@ -62,8 +51,24 @@ impl BranchKind {
     }
 }
 
+impl BranchKind {
+    /// The lowercase display name as a static string — no allocation, so
+    /// formatting whole traces stays cheap.
+    #[inline]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BranchKind::Conditional => "conditional",
+            BranchKind::Unconditional => "unconditional",
+            BranchKind::Call => "call",
+            BranchKind::Return => "return",
+        }
+    }
+}
+
 impl fmt::Display for BranchKind {
-    fmt_display_via_debug_lowercase!();
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
 }
 
 /// Privilege level at which the branch executed.
@@ -80,8 +85,21 @@ pub enum Privilege {
     Kernel,
 }
 
+impl Privilege {
+    /// The lowercase display name as a static string.
+    #[inline]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Privilege::User => "user",
+            Privilege::Kernel => "kernel",
+        }
+    }
+}
+
 impl fmt::Display for Privilege {
-    fmt_display_via_debug_lowercase!();
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
 }
 
 /// One dynamic branch: the unit of a branch trace.
@@ -170,6 +188,25 @@ mod tests {
         assert!(u.taken, "unconditional is always taken");
         let k = BranchRecord::conditional(0x3000, false).in_kernel();
         assert_eq!(k.privilege, Privilege::Kernel);
+    }
+
+    #[test]
+    fn static_display_names_match_the_debug_lowercase_convention() {
+        // The Display impls used to lowercase the Debug name through a
+        // per-call `format!`; the static strings must spell identically.
+        for kind in [
+            BranchKind::Conditional,
+            BranchKind::Unconditional,
+            BranchKind::Call,
+            BranchKind::Return,
+        ] {
+            assert_eq!(kind.as_str(), format!("{kind:?}").to_lowercase());
+            assert_eq!(kind.to_string(), kind.as_str());
+        }
+        for privilege in [Privilege::User, Privilege::Kernel] {
+            assert_eq!(privilege.as_str(), format!("{privilege:?}").to_lowercase());
+            assert_eq!(privilege.to_string(), privilege.as_str());
+        }
     }
 
     #[test]

@@ -1,0 +1,225 @@
+//! Structure-of-arrays view of a materialized trace.
+//!
+//! The simulation fast path (`bpred-sim`'s kernel layer) walks a trace as
+//! parallel columns instead of an array of [`BranchRecord`] structs: the
+//! 24-byte padded record becomes one `u64` pc, two packed bitset bits
+//! (taken, conditional) and one `u8` kind code per record — about 9.3
+//! bytes each, and the hot predict/update loop only ever touches the pc
+//! column and two bit lookups. Columns are built once per cached trace
+//! and memoized alongside the records (see [`crate::cache::columns`]).
+
+use crate::record::{BranchKind, BranchRecord};
+
+/// A trace decomposed into per-field columns.
+///
+/// The column view is a pure function of the record slice it was built
+/// from: [`TraceColumns::from_records`] never reorders or filters, so
+/// index `i` of every column describes `records[i]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceColumns {
+    pc: Vec<u64>,
+    /// Bit `i` set when record `i` was taken.
+    taken: Vec<u64>,
+    /// Bit `i` set when record `i` is a conditional branch.
+    conditional: Vec<u64>,
+    /// [`BranchKind`] codes (the binary trace-format encoding).
+    kind: Vec<u8>,
+    len: usize,
+    conditional_count: u64,
+}
+
+#[inline]
+fn bit(words: &[u64], i: usize) -> bool {
+    (words[i >> 6] >> (i & 63)) & 1 == 1
+}
+
+impl TraceColumns {
+    /// Decompose `records` into columns.
+    pub fn from_records(records: &[BranchRecord]) -> TraceColumns {
+        let len = records.len();
+        let words = len.div_ceil(64);
+        let mut pc = Vec::with_capacity(len);
+        let mut taken = vec![0u64; words];
+        let mut conditional = vec![0u64; words];
+        let mut kind = Vec::with_capacity(len);
+        let mut conditional_count = 0u64;
+        for (i, r) in records.iter().enumerate() {
+            pc.push(r.pc);
+            kind.push(r.kind.code());
+            if r.taken {
+                taken[i >> 6] |= 1 << (i & 63);
+            }
+            if r.kind == BranchKind::Conditional {
+                conditional[i >> 6] |= 1 << (i & 63);
+                conditional_count += 1;
+            }
+        }
+        TraceColumns {
+            pc,
+            taken,
+            conditional,
+            kind,
+            len,
+            conditional_count,
+        }
+    }
+
+    /// Number of records.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the trace holds no records.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of conditional records.
+    #[inline]
+    pub fn conditional_count(&self) -> u64 {
+        self.conditional_count
+    }
+
+    /// The pc of record `i`.
+    #[inline]
+    pub fn pc(&self, i: usize) -> u64 {
+        self.pc[i]
+    }
+
+    /// Whether record `i` was taken.
+    #[inline]
+    pub fn taken(&self, i: usize) -> bool {
+        bit(&self.taken, i)
+    }
+
+    /// Whether record `i` is a conditional branch.
+    #[inline]
+    pub fn is_conditional(&self, i: usize) -> bool {
+        bit(&self.conditional, i)
+    }
+
+    /// The kind of record `i`.
+    #[inline]
+    pub fn kind(&self, i: usize) -> BranchKind {
+        BranchKind::from_code(self.kind[i]).expect("column codes come from BranchKind::code")
+    }
+
+    /// The pc column as a slice (for kernels that index it directly).
+    #[inline]
+    pub fn pcs(&self) -> &[u64] {
+        &self.pc
+    }
+
+    /// Heap bytes held by the columns — what the trace cache charges
+    /// against its byte budget.
+    pub fn heap_bytes(&self) -> usize {
+        self.pc.capacity() * std::mem::size_of::<u64>()
+            + self.taken.capacity() * std::mem::size_of::<u64>()
+            + self.conditional.capacity() * std::mem::size_of::<u64>()
+            + self.kind.capacity()
+    }
+
+    /// Reassemble record `i` (tests and spot checks; the privilege column
+    /// is not kept, so the result is normalized to user mode).
+    #[cfg(test)]
+    fn record(&self, i: usize) -> BranchRecord {
+        BranchRecord {
+            pc: self.pc(i),
+            kind: self.kind(i),
+            taken: self.taken(i),
+            privilege: crate::record::Privilege::User,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::TraceSourceExt;
+    use crate::workload::IbsBenchmark;
+
+    #[test]
+    fn columns_mirror_the_record_slice() {
+        let records: Vec<BranchRecord> = IbsBenchmark::Groff
+            .spec()
+            .build()
+            .take_conditionals(2_000)
+            .collect();
+        let cols = TraceColumns::from_records(&records);
+        assert_eq!(cols.len(), records.len());
+        assert!(!cols.is_empty());
+        assert_eq!(cols.conditional_count(), 2_000);
+        for (i, r) in records.iter().enumerate() {
+            assert_eq!(cols.pc(i), r.pc);
+            assert_eq!(cols.taken(i), r.taken);
+            assert_eq!(cols.is_conditional(i), r.kind.is_conditional());
+            assert_eq!(cols.kind(i), r.kind);
+        }
+        assert_eq!(cols.pcs().len(), records.len());
+    }
+
+    #[test]
+    fn roundtrip_modulo_privilege() {
+        let records = vec![
+            BranchRecord::conditional(0x1000, true),
+            BranchRecord::unconditional(0x2000),
+            BranchRecord::conditional(0x3000, false),
+        ];
+        let cols = TraceColumns::from_records(&records);
+        for (i, r) in records.iter().enumerate() {
+            assert_eq!(cols.record(i), *r);
+        }
+    }
+
+    #[test]
+    fn bitsets_handle_word_boundaries() {
+        // Exactly 64, 65 and 127 records: boundary words must index right.
+        for n in [64usize, 65, 127, 128] {
+            let records: Vec<BranchRecord> = (0..n)
+                .map(|i| {
+                    if i % 3 == 0 {
+                        BranchRecord::unconditional(0x100 + 4 * i as u64)
+                    } else {
+                        BranchRecord::conditional(0x100 + 4 * i as u64, i % 2 == 0)
+                    }
+                })
+                .collect();
+            let cols = TraceColumns::from_records(&records);
+            for (i, r) in records.iter().enumerate() {
+                assert_eq!(cols.taken(i), r.taken, "n={n} i={i}");
+                assert_eq!(
+                    cols.is_conditional(i),
+                    r.kind.is_conditional(),
+                    "n={n} i={i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_trace() {
+        let cols = TraceColumns::from_records(&[]);
+        assert!(cols.is_empty());
+        assert_eq!(cols.len(), 0);
+        assert_eq!(cols.conditional_count(), 0);
+    }
+
+    #[test]
+    fn heap_bytes_beat_the_aos_footprint() {
+        let records: Vec<BranchRecord> = IbsBenchmark::Verilog
+            .spec()
+            .build()
+            .take_conditionals(4_000)
+            .collect();
+        let cols = TraceColumns::from_records(&records);
+        let aos = std::mem::size_of_val(&records[..]);
+        assert!(
+            cols.heap_bytes() < aos,
+            "SoA {} bytes should undercut AoS {} bytes",
+            cols.heap_bytes(),
+            aos
+        );
+    }
+}

@@ -117,6 +117,97 @@ impl LastUseDistance {
     }
 }
 
+/// Exact fully-associative LRU miss counts for *many* capacities from one
+/// distance stream.
+///
+/// A reference with last-use distance `d` hits an `N`-entry
+/// fully-associative LRU table iff `d < N` (the inclusion property of LRU
+/// stacks), so one [`LastUseDistance`] pass can serve every capacity at
+/// once: each observation lands in the smallest capacity that would hit,
+/// and the per-capacity miss counts fall out of a suffix sum at the end.
+/// Unlike [`DistanceHistogram::hit_ratio_at`] this is exact for
+/// *arbitrary* capacities, and it returns integer counts — the batched
+/// three-C engine needs bit-identical tallies, not estimates.
+#[derive(Debug, Clone)]
+pub struct CapacitySweep {
+    /// Strictly increasing capacities under measurement.
+    capacities: Vec<u64>,
+    /// `hits_at[j]` counts re-references whose distance first fits
+    /// `capacities[j]` (i.e. `capacities[j-1] <= d < capacities[j]`).
+    hits_at: Vec<u64>,
+    references: u64,
+    first_uses: u64,
+}
+
+impl CapacitySweep {
+    /// A sweep over `capacities`, which must be strictly increasing and
+    /// nonzero.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty, zero-containing or non-increasing capacity
+    /// list.
+    pub fn new(capacities: &[u64]) -> Self {
+        assert!(!capacities.is_empty(), "no capacities to sweep");
+        assert!(capacities[0] > 0, "capacity must be nonzero");
+        assert!(
+            capacities.windows(2).all(|w| w[0] < w[1]),
+            "capacities must be strictly increasing"
+        );
+        CapacitySweep {
+            capacities: capacities.to_vec(),
+            hits_at: vec![0; capacities.len()],
+            references: 0,
+            first_uses: 0,
+        }
+    }
+
+    /// Account one observation from [`LastUseDistance::observe`].
+    #[inline]
+    pub fn observe(&mut self, distance: Option<u64>) {
+        self.references += 1;
+        match distance {
+            None => self.first_uses += 1,
+            Some(d) => {
+                // Smallest capacity with d < capacity; beyond the largest,
+                // the reference misses every table under measurement.
+                let j = self.capacities.partition_point(|&c| c <= d);
+                if j < self.hits_at.len() {
+                    self.hits_at[j] += 1;
+                }
+            }
+        }
+    }
+
+    /// References observed so far.
+    pub fn references(&self) -> u64 {
+        self.references
+    }
+
+    /// First-use (compulsory) references — a miss at every capacity.
+    pub fn first_uses(&self) -> u64 {
+        self.first_uses
+    }
+
+    /// Total miss counts per capacity, parallel to the constructor's
+    /// capacity list. Each entry includes the first-use misses.
+    pub fn misses(&self) -> Vec<u64> {
+        let mut hits = 0u64;
+        self.hits_at
+            .iter()
+            .map(|&h| {
+                hits += h;
+                self.references - hits
+            })
+            .collect()
+    }
+
+    /// The capacity list under measurement.
+    pub fn capacities(&self) -> &[u64] {
+        &self.capacities
+    }
+}
+
 /// A power-of-two histogram of last-use distances with a first-use bucket,
 /// handy for inspecting workload locality.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -286,5 +377,47 @@ mod tests {
     fn histogram_of_empty_is_zero() {
         let h = DistanceHistogram::new();
         assert_eq!(h.hit_ratio_at(1024), 0.0);
+    }
+
+    #[test]
+    fn capacity_sweep_counts_misses_per_capacity() {
+        let mut s = CapacitySweep::new(&[1, 2, 4]);
+        s.observe(None); // misses everywhere
+        s.observe(Some(0)); // hits every table
+        s.observe(Some(1)); // hits capacity >= 2
+        s.observe(Some(3)); // hits capacity >= 4
+        s.observe(Some(4)); // misses everywhere under measurement
+        assert_eq!(s.references(), 5);
+        assert_eq!(s.first_uses(), 1);
+        assert_eq!(s.misses(), vec![4, 3, 2]);
+    }
+
+    #[test]
+    fn capacity_sweep_matches_per_capacity_scan() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(7);
+        let refs: Vec<(u64, u64)> = (0..3_000)
+            .map(|_| (rng.gen_range(0..60u64), rng.gen_range(0..4u64)))
+            .collect();
+        let capacities = [1u64, 2, 8, 16, 64];
+        let mut lud = LastUseDistance::new();
+        let mut sweep = CapacitySweep::new(&capacities);
+        let mut expected = vec![0u64; capacities.len()];
+        for &p in &refs {
+            let d = lud.observe(p);
+            sweep.observe(d);
+            for (j, &cap) in capacities.iter().enumerate() {
+                expected[j] += u64::from(d.is_none_or(|d| d >= cap));
+            }
+        }
+        assert_eq!(sweep.misses(), expected);
+        assert_eq!(sweep.references(), refs.len() as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn capacity_sweep_rejects_unsorted_capacities() {
+        let _ = CapacitySweep::new(&[4, 2]);
     }
 }

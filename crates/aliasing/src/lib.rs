@@ -25,6 +25,10 @@
 //! * [`fully_assoc`] — fully-associative LRU tagged table.
 //! * [`three_c`] — one-pass classifier producing the compulsory /
 //!   capacity / conflict breakdown of figures 1 and 2.
+//! * [`batch`] — single-pass batched grid classification: monomorphized
+//!   direct-mapped kernels over a column-view trace plus one shared
+//!   last-use-distance pass serving every fully-associative capacity at
+//!   once (`distance < N` ⟺ hit in an N-entry LRU table).
 //! * [`distance`] — O(log n) last-use distance (distinct pairs since last
 //!   occurrence), the `D` of formulas (1) and (2).
 //! * [`substream`] — substream-ratio and compulsory-aliasing measurement
@@ -42,6 +46,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod bias;
 pub mod cursor;
 pub mod distance;
@@ -55,14 +60,15 @@ pub mod three_c;
 
 /// Convenient re-exports of the most commonly used items.
 pub mod prelude {
+    pub use crate::batch::ThreeCCell;
     pub use crate::bias::BiasStats;
     pub use crate::cursor::PairCursor;
-    pub use crate::distance::{DistanceHistogram, LastUseDistance};
+    pub use crate::distance::{CapacitySweep, DistanceHistogram, LastUseDistance};
     pub use crate::fully_assoc::TaggedFullyAssociative;
     pub use crate::nature::{AliasingNature, NatureCounts};
     pub use crate::offenders::{OffenderAnalysis, OffenderPair};
     pub use crate::set_assoc::TaggedSetAssociative;
     pub use crate::substream::SubstreamStats;
     pub use crate::tagged::TaggedDirectMapped;
-    pub use crate::three_c::{AliasingBreakdown, ThreeCClassifier};
+    pub use crate::three_c::{AliasingBreakdown, ThreeCClassifier, ThreeCCounts};
 }

@@ -31,6 +31,50 @@ pub struct AliasingBreakdown {
     pub fully_associative: f64,
 }
 
+/// The exact integer tallies behind one [`AliasingBreakdown`] cell.
+///
+/// Both measurement paths — the per-configuration [`ThreeCClassifier`]
+/// and the batched engine in [`crate::batch`] — reduce a trace to these
+/// four counters before any floating-point math happens, and both derive
+/// their ratios through the *same* [`ThreeCCounts::breakdown`] code. Two
+/// paths that agree on the counts therefore agree on every derived `f64`
+/// bit for bit, which is the equivalence the differential test suite
+/// pins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ThreeCCounts {
+    /// Dynamic conditional branches classified.
+    pub references: u64,
+    /// Misses of the direct-mapped tagged table (total aliasing).
+    pub dm_misses: u64,
+    /// Misses of the fully-associative LRU table of the same capacity.
+    pub fa_misses: u64,
+    /// First-ever references (compulsory misses; a subset of both miss
+    /// counts).
+    pub cold_misses: u64,
+}
+
+impl ThreeCCounts {
+    /// Derive the ratio breakdown from the raw counts.
+    pub fn breakdown(&self) -> AliasingBreakdown {
+        let n = self.references;
+        if n == 0 {
+            return AliasingBreakdown::default();
+        }
+        let nf = n as f64;
+        let total = self.dm_misses as f64 / nf;
+        let fa = self.fa_misses as f64 / nf;
+        let compulsory = self.cold_misses as f64 / nf;
+        AliasingBreakdown {
+            references: n,
+            total,
+            compulsory,
+            capacity: fa - compulsory,
+            conflict: total - fa,
+            fully_associative: fa,
+        }
+    }
+}
+
 /// Classifies aliasing for one table geometry: a direct-mapped tagged
 /// table and a fully-associative LRU tagged table of the same capacity,
 /// referenced in lock step.
@@ -70,24 +114,27 @@ impl ThreeCClassifier {
         self.finish()
     }
 
+    /// Classify an entire record stream and return the raw counts.
+    pub fn run_counts(mut self, records: impl Iterator<Item = BranchRecord>) -> ThreeCCounts {
+        for r in records {
+            self.observe(&r);
+        }
+        self.finish_counts()
+    }
+
+    /// The raw integer tallies accumulated so far.
+    pub fn finish_counts(self) -> ThreeCCounts {
+        ThreeCCounts {
+            references: self.direct.accesses(),
+            dm_misses: self.direct.misses(),
+            fa_misses: self.fully.misses(),
+            cold_misses: self.fully.cold_misses(),
+        }
+    }
+
     /// Produce the breakdown.
     pub fn finish(self) -> AliasingBreakdown {
-        let n = self.direct.accesses();
-        if n == 0 {
-            return AliasingBreakdown::default();
-        }
-        let nf = n as f64;
-        let total = self.direct.misses() as f64 / nf;
-        let fa = self.fully.misses() as f64 / nf;
-        let compulsory = self.fully.cold_misses() as f64 / nf;
-        AliasingBreakdown {
-            references: n,
-            total,
-            compulsory,
-            capacity: fa - compulsory,
-            conflict: total - fa,
-            fully_associative: fa,
-        }
+        self.finish_counts().breakdown()
     }
 }
 

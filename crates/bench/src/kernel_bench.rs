@@ -14,11 +14,14 @@
 //! [`BenchReport::to_json`] serializes the measurement for
 //! `BENCH_kernels.json`, the artifact the CI bench smoke job tracks.
 
+use bpred_aliasing::batch::{self, ThreeCCell};
+use bpred_aliasing::three_c::ThreeCClassifier;
+use bpred_core::index::IndexFunction;
 use bpred_core::spec::parse_spec;
 use bpred_results::json::Json;
 use bpred_sim::engine::{self, NovelPolicy};
 use bpred_sim::experiments::workload_seed;
-use bpred_sim::kernel::PredictorKernel;
+use bpred_sim::kernel::{self, PredictorKernel};
 use bpred_sim::runner::parallel_map;
 use bpred_trace::cache;
 use bpred_trace::workload::IbsBenchmark;
@@ -114,6 +117,130 @@ fn rate(applications: u64, seconds: f64) -> f64 {
     }
 }
 
+/// The quick three-C sweep shape raced by [`run_aliasing`]: the fig-1/2
+/// size axis at two history lengths, both indexed flavors.
+pub fn default_aliasing_grid() -> Vec<ThreeCCell> {
+    let mut cells = Vec::new();
+    for h in [4u32, 12] {
+        for n in 6..=13 {
+            for func in [IndexFunction::Gshare, IndexFunction::Gselect] {
+                cells.push(ThreeCCell {
+                    entries_log2: n,
+                    history_bits: h,
+                    func,
+                });
+            }
+        }
+    }
+    cells
+}
+
+/// The timing of one three-C grid across all workloads: per-config
+/// classifier walks vs the batched single-pass engine.
+#[derive(Debug, Clone)]
+pub struct AliasingMeasurement {
+    /// Grid cells classified.
+    pub cells: usize,
+    /// Record applications per path (records × cells, summed over
+    /// workloads) — the work both paths account for, however many trace
+    /// traversals they need to do it.
+    pub applications: u64,
+    /// CPU seconds spent in the per-configuration classifiers.
+    pub dyn_seconds: f64,
+    /// CPU seconds spent in the batched passes (summed across workers).
+    pub batch_seconds: f64,
+    /// Whether every batched cell matched the classifier bit for bit —
+    /// raw counts and the derived breakdown.
+    pub matched: bool,
+}
+
+impl AliasingMeasurement {
+    /// Per-config-path throughput in record applications per second.
+    pub fn dyn_rate(&self) -> f64 {
+        rate(self.applications, self.dyn_seconds)
+    }
+
+    /// Batched-path throughput in record applications per second.
+    pub fn batch_rate(&self) -> f64 {
+        rate(self.applications, self.batch_seconds)
+    }
+
+    /// Batched speedup over the per-config path (CPU-time ratio).
+    pub fn speedup(&self) -> f64 {
+        if self.batch_seconds == 0.0 {
+            0.0
+        } else {
+            self.dyn_seconds / self.batch_seconds
+        }
+    }
+
+    /// The JSON fragment stored under `aliasing` in the bench report.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("cells", Json::Num(self.cells as f64)),
+            ("applications", Json::Num(self.applications as f64)),
+            ("dyn_seconds", Json::Num(self.dyn_seconds)),
+            ("batch_seconds", Json::Num(self.batch_seconds)),
+            ("dyn_rate", Json::Num(self.dyn_rate())),
+            ("batch_rate", Json::Num(self.batch_rate())),
+            ("speedup", Json::Num(self.speedup())),
+            ("matched", Json::Bool(self.matched)),
+        ])
+    }
+}
+
+/// Race one three-C grid over the six IBS-like workloads: the
+/// per-configuration [`ThreeCClassifier`] (one full trace walk per cell)
+/// against the batched engine ([`kernel::run_three_c_units`]: one
+/// direct-mapped kernel pass per cell plus one shared-distance pass per
+/// distinct history). Both paths are timed as summed CPU seconds and
+/// compared cell by cell — counts must be identical integer for integer,
+/// and the derived breakdowns bit for bit.
+pub fn run_aliasing(cells: &[ThreeCCell], quick: bool, threads: usize) -> AliasingMeasurement {
+    let seed = workload_seed();
+    let mut applications = 0u64;
+    let mut dyn_seconds = 0.0;
+    let mut batch_seconds = 0.0;
+    let mut matched = true;
+    for bench in IbsBenchmark::all() {
+        let len = if quick {
+            bench.default_len().min(QUICK_LEN_CAP)
+        } else {
+            bench.default_len()
+        };
+        let (trace, cols) = cache::records_and_columns(bench, len, seed);
+        applications += trace.len() as u64 * cells.len() as u64;
+
+        let trace_ref = &trace;
+        let timed_dyn: Vec<_> = parallel_map(cells.to_vec(), threads, move |cell| {
+            let start = Instant::now();
+            let counts = ThreeCClassifier::new(cell.entries_log2, cell.history_bits, cell.func)
+                .run_counts(trace_ref.iter().copied());
+            (counts, start.elapsed().as_secs_f64())
+        });
+        dyn_seconds += timed_dyn.iter().map(|(_, s)| s).sum::<f64>();
+
+        let groups = batch::fa_groups(cells);
+        let (dm_done, fa_done) = kernel::run_three_c_units(cells, &groups, &cols, threads);
+        batch_seconds += dm_done.iter().map(|(_, ms)| ms).sum::<f64>() / 1e3
+            + fa_done.iter().map(|(_, ms)| ms).sum::<f64>() / 1e3;
+        let dm: Vec<_> = dm_done.into_iter().map(|(c, _)| c).collect();
+        let fa: Vec<_> = fa_done.into_iter().map(|(c, _)| c).collect();
+        let batched = batch::assemble(cells, &groups, &dm, &fa);
+        for ((dyn_counts, _), batch_counts) in timed_dyn.iter().zip(&batched) {
+            matched &=
+                dyn_counts == batch_counts && dyn_counts.breakdown() == batch_counts.breakdown();
+        }
+    }
+    AliasingMeasurement {
+        cells: cells.len(),
+        applications,
+        dyn_seconds,
+        batch_seconds,
+        matched,
+    }
+}
+
 /// A full `bpsim bench` measurement.
 #[derive(Debug, Clone)]
 pub struct BenchReport {
@@ -123,6 +250,9 @@ pub struct BenchReport {
     pub len_cap: Option<u64>,
     /// Per-case measurements.
     pub cases: Vec<CaseMeasurement>,
+    /// The batched three-C race, when the bench ran it
+    /// ([`run_aliasing`]); `None` in kernel-only runs.
+    pub aliasing: Option<AliasingMeasurement>,
 }
 
 impl BenchReport {
@@ -187,6 +317,13 @@ impl BenchReport {
                         })
                         .collect(),
                 ),
+            ),
+            (
+                "aliasing",
+                match &self.aliasing {
+                    Some(a) => a.to_json(),
+                    None => Json::Null,
+                },
             ),
             (
                 "overall",
@@ -275,6 +412,7 @@ pub fn run(cases: &[BenchCase], quick: bool, threads: usize) -> BenchReport {
         quick,
         len_cap: quick.then_some(QUICK_LEN_CAP),
         cases: measurements,
+        aliasing: None,
     }
 }
 
@@ -305,6 +443,47 @@ mod tests {
         let overall = parsed.get("overall").unwrap();
         assert_eq!(overall.get("matched").unwrap(), &Json::Bool(true));
         assert!(overall.get("speedup").unwrap().as_f64().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn tiny_aliasing_race_matches_and_serializes() {
+        // A two-cell grid keeps the per-config path affordable in a unit
+        // test while still exercising the shared-distance FA pass (both
+        // cells share one history).
+        let cells = vec![
+            ThreeCCell {
+                entries_log2: 8,
+                history_bits: 4,
+                func: IndexFunction::Gshare,
+            },
+            ThreeCCell {
+                entries_log2: 8,
+                history_bits: 4,
+                func: IndexFunction::Gselect,
+            },
+        ];
+        let a = run_aliasing(&cells, true, 2);
+        assert!(a.matched, "batched three-C diverged from the classifier");
+        assert_eq!(a.cells, 2);
+        assert!(a.applications > 0);
+        assert!(a.dyn_seconds > 0.0);
+        assert!(a.batch_seconds > 0.0);
+        let mut report = run(&[], true, 1);
+        report.aliasing = Some(a);
+        let parsed = Json::parse(&report.to_json().to_string_compact()).unwrap();
+        let aliasing = parsed.get("aliasing").unwrap();
+        assert_eq!(aliasing.get("matched").unwrap(), &Json::Bool(true));
+        assert!(aliasing.get("speedup").unwrap().as_f64().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn default_aliasing_grid_is_the_quick_sweep_shape() {
+        let grid = default_aliasing_grid();
+        assert_eq!(grid.len(), 2 * 8 * 2, "2 histories × 8 sizes × 2 fns");
+        assert!(grid.iter().all(|c| (6..=13).contains(&c.entries_log2)));
+        // Exactly two distinct FA groups: one shared-distance pass per
+        // history, regardless of index function.
+        assert_eq!(batch::fa_groups(&grid).len(), 2);
     }
 
     #[test]

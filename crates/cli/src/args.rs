@@ -29,6 +29,7 @@ const VALUED: &[&str] = &[
     "results-dir",
     "budget",
     "min-speedup",
+    "min-aliasing-speedup",
 ];
 
 impl Args {

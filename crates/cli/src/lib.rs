@@ -53,6 +53,7 @@ USAGE:
   bpsim duel <specA> <specB> [--bench <name>] [--len N]
   bpsim sweep --pred <spec with {h}> [--bench <name>] [--len N]
   bpsim bench [--quick] [--out FILE] [--threads T] [--min-speedup X]
+              [--min-aliasing-speedup X]
   bpsim campaign list
   bpsim campaign <name> [--out FILE] [--threads T]
   bpsim campaign diff <baseline> <candidate> [--tol T]
@@ -525,9 +526,20 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
             "--min-speedup must be a nonnegative number, got {min_speedup}"
         ));
     }
+    let min_aliasing = args.option_f64("min-aliasing-speedup")?.unwrap_or(1.0);
+    if min_aliasing.is_nan() || min_aliasing < 0.0 {
+        return Err(format!(
+            "--min-aliasing-speedup must be a nonnegative number, got {min_aliasing}"
+        ));
+    }
     let out = args.option("out").unwrap_or("BENCH_kernels.json");
     let cases = kernel_bench::default_cases();
-    let report = kernel_bench::run(&cases, quick, threads);
+    let mut report = kernel_bench::run(&cases, quick, threads);
+    report.aliasing = Some(kernel_bench::run_aliasing(
+        &kernel_bench::default_aliasing_grid(),
+        quick,
+        threads,
+    ));
 
     println!(
         "{:<16} {:>6} {:>14} {:>12} {:>12} {:>9}  match",
@@ -543,6 +555,18 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
             case.kernel_rate() / 1e6,
             case.speedup(),
             if case.matched { "ok" } else { "MISMATCH" },
+        );
+    }
+    if let Some(a) = &report.aliasing {
+        println!(
+            "{:<16} {:>6} {:>14} {:>12.1} {:>12.1} {:>8.2}x  {}",
+            "aliasing-3c",
+            a.cells,
+            a.applications,
+            a.dyn_rate() / 1e6,
+            a.batch_rate() / 1e6,
+            a.speedup(),
+            if a.matched { "ok" } else { "MISMATCH" },
         );
     }
     println!(
@@ -566,6 +590,17 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
             "kernel speedup {:.2}x is below the required {min_speedup}x",
             report.speedup()
         ));
+    }
+    if let Some(a) = &report.aliasing {
+        if !a.matched {
+            return Err("batched three-C counts diverged from the per-config classifier".into());
+        }
+        if a.speedup() < min_aliasing {
+            return Err(format!(
+                "batched three-C speedup {:.2}x is below the required {min_aliasing}x",
+                a.speedup()
+            ));
+        }
     }
     Ok(())
 }

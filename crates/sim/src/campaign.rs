@@ -26,8 +26,8 @@ pub struct Campaign {
 /// Every defined campaign.
 pub const ALL: &[Campaign] = &[Campaign {
     name: "quick",
-    description: "fig5 fig7 fig8 table2 at --quick lengths (the CI regression gate)",
-    experiments: &["fig5", "fig7", "fig8", "table2"],
+    description: "fig5 fig7 fig8 table2 three-c at --quick lengths (the CI regression gate)",
+    experiments: &["fig5", "fig7", "fig8", "table2", "three-c"],
     quick: true,
 }];
 

@@ -2,20 +2,23 @@
 //! `(address, history)` pairs, for 4-bit (fig 1) and 12-bit (fig 2)
 //! histories.
 //!
-//! Three structures are referenced in lock step per table size:
-//! direct-mapped with the *gshare* index, direct-mapped with the
-//! *gselect* index, and fully-associative LRU. The FA curve is
-//! compulsory + capacity aliasing; DM minus FA is conflict aliasing.
+//! Three structures are referenced per table size: direct-mapped with
+//! the *gshare* index, direct-mapped with the *gselect* index, and
+//! fully-associative LRU. The FA curve is compulsory + capacity
+//! aliasing; DM minus FA is conflict aliasing. The measurement rides the
+//! batched three-C engine: per benchmark, one direct-mapped kernel pass
+//! per (size, index-fn) cell and a *single* shared last-use-distance
+//! pass covering every FA capacity — bit-identical to the historical
+//! per-configuration lockstep walk, at a fraction of the trace
+//! traversals.
 
-use super::helpers::stream;
+use super::helpers::three_c_grid;
 use super::{ExperimentOpts, ExperimentOutput};
 use crate::report::{pct, Table};
 use crate::runner::parallel_map;
-use bpred_aliasing::cursor::PairCursor;
-use bpred_aliasing::fully_assoc::TaggedFullyAssociative;
-use bpred_aliasing::tagged::TaggedDirectMapped;
+use bpred_aliasing::batch::ThreeCCell;
+use bpred_aliasing::three_c::ThreeCCounts;
 use bpred_core::index::IndexFunction;
-use bpred_trace::record::BranchKind;
 use bpred_trace::workload::IbsBenchmark;
 
 const SIZES_LOG2: std::ops::RangeInclusive<u32> = 6..=18;
@@ -30,38 +33,51 @@ struct Cell {
     capacity: f64,
 }
 
-fn measure(bench: IbsBenchmark, entries_log2: u32, history_bits: u32, len: u64) -> Cell {
-    let mut cursor = PairCursor::new(history_bits);
-    let mut dm_gshare = TaggedDirectMapped::new(entries_log2, IndexFunction::Gshare);
-    let mut dm_gselect = TaggedDirectMapped::new(entries_log2, IndexFunction::Gselect);
-    let mut fa = TaggedFullyAssociative::new(1 << entries_log2);
-    for record in stream(bench, len) {
-        if record.kind == BranchKind::Conditional {
-            let v = cursor.vector(record.pc);
-            dm_gshare.access(&v);
-            dm_gselect.access(&v);
-            fa.access(v.pair());
+/// The per-benchmark grid in row-major order: `sizes × {gshare, gselect}`.
+fn grid(history_bits: u32) -> Vec<ThreeCCell> {
+    SIZES_LOG2
+        .flat_map(|n| {
+            [IndexFunction::Gshare, IndexFunction::Gselect].map(|func| ThreeCCell {
+                entries_log2: n,
+                history_bits,
+                func,
+            })
+        })
+        .collect()
+}
+
+/// Derive one size's rendered cell from its two grid counts. The float
+/// expressions mirror the historical per-configuration measurement
+/// (`miss_ratio()` guards and the `max(1)` capacity denominator
+/// included) so the rendered tables are byte-identical across engines.
+fn derive(gshare: &ThreeCCounts, gselect: &ThreeCCounts) -> Cell {
+    let ratio = |misses: u64, refs: u64| {
+        if refs == 0 {
+            0.0
+        } else {
+            misses as f64 / refs as f64
         }
-        cursor.advance(&record);
-    }
-    let n = fa.accesses().max(1) as f64;
+    };
+    let n = gshare.references.max(1) as f64;
     Cell {
-        gshare: 100.0 * dm_gshare.miss_ratio(),
-        gselect: 100.0 * dm_gselect.miss_ratio(),
-        fully_assoc: 100.0 * fa.miss_ratio(),
-        capacity: 100.0 * fa.capacity_misses() as f64 / n,
+        gshare: 100.0 * ratio(gshare.dm_misses, gshare.references),
+        gselect: 100.0 * ratio(gselect.dm_misses, gselect.references),
+        fully_assoc: 100.0 * ratio(gshare.fa_misses, gshare.references),
+        capacity: 100.0 * (gshare.fa_misses - gshare.cold_misses) as f64 / n,
     }
 }
 
 pub(super) fn run(opts: &ExperimentOpts, history_bits: u32, id: &'static str) -> ExperimentOutput {
     let sizes: Vec<u32> = SIZES_LOG2.collect();
-    let tasks: Vec<(u32, IbsBenchmark)> = sizes
-        .iter()
-        .flat_map(|&n| IbsBenchmark::all().into_iter().map(move |b| (n, b)))
-        .collect();
-    let cells = parallel_map(tasks, opts.threads, |(n, bench)| {
-        measure(bench, n, history_bits, opts.len_for(bench))
-    });
+    let cells_grid = grid(history_bits);
+    let inner_threads = (opts.threads / IbsBenchmark::all().len()).max(1);
+    let per_bench: Vec<Vec<Cell>> =
+        parallel_map(IbsBenchmark::all().to_vec(), opts.threads, |bench| {
+            let counts = three_c_grid(bench, opts.len_for(bench), &cells_grid, inner_threads);
+            (0..sizes.len())
+                .map(|row| derive(&counts[2 * row], &counts[2 * row + 1]))
+                .collect()
+        });
 
     let mut columns = vec!["entries".to_string()];
     columns.extend(IbsBenchmark::all().iter().map(|b| b.name().to_string()));
@@ -76,9 +92,8 @@ pub(super) fn run(opts: &ExperimentOpts, history_bits: u32, id: &'static str) ->
     .map(|title| Table::new(title, columns.clone()))
     .collect();
 
-    let per_row = IbsBenchmark::all().len();
-    for (i, &n) in sizes.iter().enumerate() {
-        let row_cells = &cells[i * per_row..(i + 1) * per_row];
+    for (row, &n) in sizes.iter().enumerate() {
+        let row_cells: Vec<Cell> = per_bench.iter().map(|col| col[row]).collect();
         let label = (1u64 << n).to_string();
         tables[0].push_row(
             std::iter::once(label.clone())
@@ -124,13 +139,95 @@ pub(super) fn run(opts: &ExperimentOpts, history_bits: u32, id: &'static str) ->
 
 #[cfg(test)]
 mod tests {
+    use super::super::helpers::stream;
     use super::*;
+    use bpred_aliasing::cursor::PairCursor;
+    use bpred_aliasing::fully_assoc::TaggedFullyAssociative;
+    use bpred_aliasing::tagged::TaggedDirectMapped;
+    use bpred_trace::record::BranchKind;
+
+    /// The historical per-configuration measurement: three structures in
+    /// lock step over one stream. Kept as the test oracle for the batched
+    /// path.
+    fn measure_lockstep(
+        bench: IbsBenchmark,
+        entries_log2: u32,
+        history_bits: u32,
+        len: u64,
+    ) -> Cell {
+        let mut cursor = PairCursor::new(history_bits);
+        let mut dm_gshare = TaggedDirectMapped::new(entries_log2, IndexFunction::Gshare);
+        let mut dm_gselect = TaggedDirectMapped::new(entries_log2, IndexFunction::Gselect);
+        let mut fa = TaggedFullyAssociative::new(1 << entries_log2);
+        for record in stream(bench, len) {
+            if record.kind == BranchKind::Conditional {
+                let v = cursor.vector(record.pc);
+                dm_gshare.access(&v);
+                dm_gselect.access(&v);
+                fa.access(v.pair());
+            }
+            cursor.advance(&record);
+        }
+        let n = fa.accesses().max(1) as f64;
+        Cell {
+            gshare: 100.0 * dm_gshare.miss_ratio(),
+            gselect: 100.0 * dm_gselect.miss_ratio(),
+            fully_assoc: 100.0 * fa.miss_ratio(),
+            capacity: 100.0 * fa.capacity_misses() as f64 / n,
+        }
+    }
+
+    fn measure_batched(
+        bench: IbsBenchmark,
+        entries_log2: u32,
+        history_bits: u32,
+        len: u64,
+    ) -> Cell {
+        let cells: Vec<ThreeCCell> = [IndexFunction::Gshare, IndexFunction::Gselect]
+            .iter()
+            .map(|&func| ThreeCCell {
+                entries_log2,
+                history_bits,
+                func,
+            })
+            .collect();
+        let counts = three_c_grid(bench, len, &cells, 1);
+        derive(&counts[0], &counts[1])
+    }
+
+    #[test]
+    fn batched_cells_equal_the_lockstep_oracle_bit_for_bit() {
+        for (n, h) in [(7u32, 4u32), (10, 4), (8, 12)] {
+            let oracle = measure_lockstep(IbsBenchmark::Groff, n, h, 30_000);
+            let batched = measure_batched(IbsBenchmark::Groff, n, h, 30_000);
+            assert_eq!(
+                oracle.gshare.to_bits(),
+                batched.gshare.to_bits(),
+                "n={n} h={h}"
+            );
+            assert_eq!(
+                oracle.gselect.to_bits(),
+                batched.gselect.to_bits(),
+                "n={n} h={h}"
+            );
+            assert_eq!(
+                oracle.fully_assoc.to_bits(),
+                batched.fully_assoc.to_bits(),
+                "n={n} h={h}"
+            );
+            assert_eq!(
+                oracle.capacity.to_bits(),
+                batched.capacity.to_bits(),
+                "n={n} h={h}"
+            );
+        }
+    }
 
     #[test]
     fn fa_not_worse_than_dm_and_shrinks_with_size() {
         let len = 60_000;
-        let small = measure(IbsBenchmark::Groff, 7, 4, len);
-        let large = measure(IbsBenchmark::Groff, 12, 4, len);
+        let small = measure_batched(IbsBenchmark::Groff, 7, 4, len);
+        let large = measure_batched(IbsBenchmark::Groff, 12, 4, len);
         assert!(small.fully_assoc <= small.gshare + 0.5);
         assert!(large.fully_assoc < small.fully_assoc);
         assert!(large.gshare < small.gshare);
@@ -140,7 +237,7 @@ mod tests {
     fn conflict_dominates_capacity_at_large_sizes() {
         // The headline of figure 1: by 4K entries capacity aliasing nearly
         // vanishes (compulsory aside) and conflicts dominate what remains.
-        let c = measure(IbsBenchmark::Gs, 12, 4, 200_000);
+        let c = measure_batched(IbsBenchmark::Gs, 12, 4, 200_000);
         let conflict = (c.gshare - c.fully_assoc).max(0.0);
         assert!(
             conflict > c.capacity,

@@ -6,6 +6,8 @@ use crate::kernel::{self, PredictorKernel};
 use crate::report::{pct, Table};
 use crate::resume;
 use crate::runner::parallel_map;
+use bpred_aliasing::batch::ThreeCCell;
+use bpred_aliasing::three_c::ThreeCCounts;
 use bpred_core::spec::PredictorSpec;
 use bpred_results::record::CellKey;
 use bpred_trace::cache;
@@ -233,6 +235,127 @@ pub fn spec_sweep_table_with(
         table.push_row(cells);
     }
     table
+}
+
+/// Classify a whole three-C grid over one benchmark trace, batched: one
+/// direct-mapped kernel pass per cell plus one shared-distance
+/// fully-associative pass per distinct history length, all over a single
+/// cached column view ([`kernel::run_three_c`]). Results are parallel to
+/// `cells` and bit-identical to running `ThreeCClassifier` per cell.
+///
+/// With a results store attached ([`crate::resume`]), stored units are
+/// adopted and only the missing ones run: direct-mapped units are keyed
+/// per cell ([`resume::alias_dm_cell`]) and fully-associative units per
+/// `(capacity, history)` — shared across index functions — so a warm
+/// rerun touches no trace at all.
+pub(crate) fn three_c_grid(
+    bench: IbsBenchmark,
+    len: u64,
+    cells: &[ThreeCCell],
+    threads: usize,
+) -> Vec<ThreeCCounts> {
+    use bpred_aliasing::batch::{self, DmCounts, FaCounts};
+    let seed = workload_seed();
+    if !resume::is_active() {
+        let cols = cache::columns_seeded(bench, len, seed);
+        return kernel::run_three_c(cells, &cols, threads);
+    }
+
+    let groups = batch::fa_groups(cells);
+    let dm_keys: Vec<(CellKey, u64)> = cells
+        .iter()
+        .map(|cell| resume::alias_dm_cell(cell, bench, len, seed))
+        .collect();
+    // One FA key per (capacity, history) coordinate of each group.
+    let fa_keys: Vec<Vec<(CellKey, u64)>> = groups
+        .iter()
+        .map(|(h, caps)| {
+            caps.iter()
+                .map(|&cap| resume::alias_fa_cell(cap.trailing_zeros(), *h, bench, len, seed))
+                .collect()
+        })
+        .collect();
+
+    let mut dm: Vec<Option<DmCounts>> = dm_keys
+        .iter()
+        .map(|&(_, fp)| {
+            resume::lookup(fp).map(|r| DmCounts {
+                references: r.conditional,
+                misses: r.mispredicted,
+                cold_misses: r.novel,
+            })
+        })
+        .collect();
+    // An FA group is servable only when *every* capacity of the group is
+    // stored (they come from one shared pass, so they are stored
+    // together; a partial hit re-runs the whole group).
+    let mut fa: Vec<Option<FaCounts>> = fa_keys
+        .iter()
+        .map(|keys| {
+            let hits: Vec<RunResult> = keys
+                .iter()
+                .map(|&(_, fp)| resume::lookup(fp))
+                .collect::<Option<Vec<_>>>()?;
+            Some(FaCounts {
+                references: hits[0].conditional,
+                cold_misses: hits[0].novel,
+                misses: hits.iter().map(|r| r.mispredicted).collect(),
+            })
+        })
+        .collect();
+
+    let missing_dm: Vec<usize> = (0..cells.len()).filter(|&i| dm[i].is_none()).collect();
+    let missing_fa: Vec<usize> = (0..groups.len()).filter(|&g| fa[g].is_none()).collect();
+    if !missing_dm.is_empty() || !missing_fa.is_empty() {
+        let cols = cache::columns_seeded(bench, len, seed);
+        let run_cells: Vec<ThreeCCell> = missing_dm.iter().map(|&i| cells[i]).collect();
+        let run_groups: Vec<(u32, Vec<u64>)> =
+            missing_fa.iter().map(|&g| groups[g].clone()).collect();
+        let (dm_done, fa_done) = kernel::run_three_c_units(&run_cells, &run_groups, &cols, threads);
+        for (&i, (counts, ms)) in missing_dm.iter().zip(dm_done) {
+            let (key, fp) = dm_keys[i].clone();
+            resume::record(
+                key,
+                fp,
+                RunResult {
+                    conditional: counts.references,
+                    mispredicted: counts.misses,
+                    novel: counts.cold_misses,
+                },
+                ms,
+            );
+            dm[i] = Some(counts);
+        }
+        for (&g, (counts, ms)) in missing_fa.iter().zip(fa_done) {
+            // The distance walk is shared by the group; bill it evenly
+            // per stored capacity.
+            let per_cell_ms = ms / counts.misses.len() as f64;
+            for (keyed, &misses) in fa_keys[g].iter().zip(&counts.misses) {
+                let (key, fp) = keyed.clone();
+                resume::record(
+                    key,
+                    fp,
+                    RunResult {
+                        conditional: counts.references,
+                        mispredicted: misses,
+                        novel: counts.cold_misses,
+                    },
+                    per_cell_ms,
+                );
+            }
+            fa[g] = Some(counts);
+        }
+    }
+
+    let dm: Vec<DmCounts> = dm
+        .into_iter()
+        .map(|c| c.expect("dm unit resolved"))
+        .collect();
+    let fa: Vec<FaCounts> = fa
+        .into_iter()
+        .map(|c| c.expect("fa unit resolved"))
+        .collect();
+    batch::assemble(cells, &groups, &dm, &fa)
 }
 
 /// Power-of-two size labels `2^lo ..= 2^hi`.

@@ -22,6 +22,7 @@ mod fig9;
 mod helpers;
 mod table1;
 mod table2;
+mod three_c;
 
 pub use helpers::{set_workload_seed, sim_pct, stream, workload_seed};
 
@@ -104,6 +105,7 @@ pub const ALL_IDS: &[&str] = &[
     "fig10",
     "fig11",
     "fig12",
+    "three-c",
     "ablation-banks",
     "ablation-update",
     "ablation-counters",
@@ -140,6 +142,7 @@ pub fn run(id: &str, opts: &ExperimentOpts) -> Option<ExperimentOutput> {
         "fig10" => fig9::run(opts, 0.2, "fig10"),
         "fig11" => fig11::run(opts),
         "fig12" => fig12::run(opts),
+        "three-c" => three_c::run(opts),
         "ablation-banks" => ablations::banks(opts),
         "ablation-update" => ablations::update(opts),
         "ablation-counters" => ablations::counters(opts),

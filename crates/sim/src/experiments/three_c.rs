@@ -1,0 +1,148 @@
+//! The batched three-C decomposition sweep (extension of figures 1–4):
+//! compulsory / capacity / conflict aliasing for every table size and
+//! both indexed table flavors, produced by the single-pass batched
+//! engine instead of one trace walk per configuration.
+//!
+//! One benchmark costs `sizes × 2` direct-mapped kernel passes plus a
+//! *single* shared last-use-distance pass (the fully-associative LRU
+//! reference for every capacity at once), all over one cached column
+//! view. The conflict tables report the *signed* component — negative
+//! slivers mean LRU lost to direct mapping — so each size's three
+//! components sum to its total exactly.
+
+use super::helpers::{size_labels, three_c_grid};
+use super::{ExperimentOpts, ExperimentOutput};
+use crate::report::{pct, Table};
+use crate::runner::parallel_map;
+use bpred_aliasing::batch::ThreeCCell;
+use bpred_aliasing::three_c::AliasingBreakdown;
+use bpred_core::index::IndexFunction;
+use bpred_trace::workload::IbsBenchmark;
+
+const SIZES_LOG2: std::ops::RangeInclusive<u32> = 6..=18;
+const HISTORY_BITS: u32 = 8;
+const FUNCS: [IndexFunction; 2] = [IndexFunction::Gshare, IndexFunction::Gselect];
+
+/// The grid in row-major order: `sizes × FUNCS`.
+fn grid() -> Vec<ThreeCCell> {
+    SIZES_LOG2
+        .flat_map(|n| {
+            FUNCS.map(|func| ThreeCCell {
+                entries_log2: n,
+                history_bits: HISTORY_BITS,
+                func,
+            })
+        })
+        .collect()
+}
+
+pub(super) fn run(opts: &ExperimentOpts) -> ExperimentOutput {
+    let cells = grid();
+    let inner_threads = (opts.threads / IbsBenchmark::all().len()).max(1);
+    let per_bench: Vec<Vec<AliasingBreakdown>> =
+        parallel_map(IbsBenchmark::all().to_vec(), opts.threads, |bench| {
+            three_c_grid(bench, opts.len_for(bench), &cells, inner_threads)
+                .iter()
+                .map(|counts| counts.breakdown())
+                .collect()
+        });
+
+    let mut columns = vec!["entries".to_string()];
+    columns.extend(IbsBenchmark::all().iter().map(|b| b.name().to_string()));
+    let mut tables: Vec<Table> = [
+        format!("Total aliasing % — gshare index ({HISTORY_BITS}-bit history)"),
+        format!("Total aliasing % — gselect index ({HISTORY_BITS}-bit history)"),
+        format!("Compulsory aliasing % ({HISTORY_BITS}-bit history)"),
+        format!("Capacity aliasing % ({HISTORY_BITS}-bit history)"),
+        format!("Conflict aliasing %, signed — gshare ({HISTORY_BITS}-bit history)"),
+        format!("Conflict aliasing %, signed — gselect ({HISTORY_BITS}-bit history)"),
+    ]
+    .into_iter()
+    .map(|title| Table::new(title, columns.clone()))
+    .collect();
+
+    let sizes: Vec<u32> = SIZES_LOG2.collect();
+    let labels = size_labels(*SIZES_LOG2.start(), *SIZES_LOG2.end());
+    for (row, label) in labels.iter().enumerate() {
+        // Row-major grid: gshare at 2*row, gselect at 2*row + 1. The
+        // compulsory and capacity components come from the shared FA
+        // reference, identical for both index functions.
+        let gshare = |b: &Vec<AliasingBreakdown>| b[2 * row];
+        let gselect = |b: &Vec<AliasingBreakdown>| b[2 * row + 1];
+        let rows: [Vec<String>; 6] = [
+            per_bench
+                .iter()
+                .map(|b| pct(100.0 * gshare(b).total))
+                .collect(),
+            per_bench
+                .iter()
+                .map(|b| pct(100.0 * gselect(b).total))
+                .collect(),
+            per_bench
+                .iter()
+                .map(|b| pct(100.0 * gshare(b).compulsory))
+                .collect(),
+            per_bench
+                .iter()
+                .map(|b| pct(100.0 * gshare(b).capacity))
+                .collect(),
+            per_bench
+                .iter()
+                .map(|b| pct(100.0 * gshare(b).conflict))
+                .collect(),
+            per_bench
+                .iter()
+                .map(|b| pct(100.0 * gselect(b).conflict))
+                .collect(),
+        ];
+        for (table, cells_for_row) in tables.iter_mut().zip(rows) {
+            table.push_row(
+                std::iter::once(label.clone())
+                    .chain(cells_for_row)
+                    .collect(),
+            );
+        }
+        debug_assert_eq!(1u64 << sizes[row], label.parse::<u64>().unwrap());
+    }
+
+    ExperimentOutput {
+        id: "three-c",
+        title: format!(
+            "Three-C decomposition sweep — batched compulsory/capacity/conflict \
+             for every table size, {HISTORY_BITS}-bit history"
+        ),
+        tables,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn components_in_every_rendered_row_sum_to_total() {
+        let mut opts = ExperimentOpts::quick();
+        opts.len_override = Some(6_000);
+        let out = run(&opts);
+        assert_eq!(out.tables.len(), 6);
+        // Reparse the rendered cells: compulsory + capacity + conflict
+        // must telescope back to the total within rendering precision.
+        let parse =
+            |t: &Table, row: usize, col: usize| -> f64 { t.rows()[row][col].parse().unwrap() };
+        let [total_gshare, _, compulsory, capacity, conflict_gshare, _] = &out.tables[..] else {
+            panic!("six tables")
+        };
+        for row in 0..total_gshare.rows().len() {
+            for col in 1..total_gshare.columns().len() {
+                let sum = parse(compulsory, row, col)
+                    + parse(capacity, row, col)
+                    + parse(conflict_gshare, row, col);
+                let total = parse(total_gshare, row, col);
+                assert!(
+                    (sum - total).abs() <= 0.02,
+                    "row {row} col {col}: {sum} vs {total}"
+                );
+            }
+        }
+    }
+}

@@ -31,6 +31,8 @@
 use crate::engine::{self, NovelPolicy, RunResult};
 use crate::runner::parallel_map;
 use crate::timing;
+use bpred_aliasing::batch::{self, DmCounts, FaCounts, ThreeCCell};
+use bpred_aliasing::three_c::ThreeCCounts;
 use bpred_core::counter::CounterKind;
 use bpred_core::error::ConfigError;
 use bpred_core::gskew::UpdatePolicy;
@@ -377,6 +379,92 @@ pub fn run_specs(
     Ok(results)
 }
 
+/// Batched three-C classification of a whole `(size × index-fn ×
+/// history)` grid in one logical pass over `columns`, fanned out across
+/// up to `threads` workers: one [`batch::dm_pass`] unit per cell plus one
+/// shared [`batch::fa_pass`] unit per distinct history length (the
+/// fully-associative reference depends on history alone, and one
+/// last-use-distance walk serves every capacity at once). Results keep
+/// the order of `cells` and are bit-identical to running
+/// `ThreeCClassifier` per cell over the same records.
+///
+/// Time spent in the units is credited to the kernel path of
+/// [`crate::timing`].
+pub fn run_three_c(
+    cells: &[ThreeCCell],
+    columns: &TraceColumns,
+    threads: usize,
+) -> Vec<ThreeCCounts> {
+    let groups = batch::fa_groups(cells);
+    let (dm, fa) = run_three_c_units(cells, &groups, columns, threads);
+    let dm: Vec<DmCounts> = dm.into_iter().map(|(c, _)| c).collect();
+    let fa: Vec<FaCounts> = fa.into_iter().map(|(c, _)| c).collect();
+    batch::assemble(cells, &groups, &dm, &fa)
+}
+
+/// A work unit's result paired with the unit's own elapsed
+/// milliseconds (for per-cell accounting in the results store).
+pub type Timed<T> = (T, f64);
+
+/// The work units behind [`run_three_c`], exposed separately so the
+/// resume layer can run *only* the units whose results are not already
+/// stored: direct-mapped units for `dm_cells` and one fully-associative
+/// unit per `(history, capacities)` group. Each result carries the unit's
+/// own elapsed milliseconds (for per-cell accounting in the results
+/// store). All units share one `parallel_map` fan-out, so a mixed batch
+/// keeps every worker busy.
+pub fn run_three_c_units(
+    dm_cells: &[ThreeCCell],
+    fa_groups: &[(u32, Vec<u64>)],
+    columns: &TraceColumns,
+    threads: usize,
+) -> (Vec<Timed<DmCounts>>, Vec<Timed<FaCounts>>) {
+    enum Unit {
+        Dm(usize),
+        Fa(usize),
+    }
+    let units: Vec<Unit> = (0..dm_cells.len())
+        .map(Unit::Dm)
+        .chain((0..fa_groups.len()).map(Unit::Fa))
+        .collect();
+    enum Done {
+        Dm(usize, DmCounts, f64),
+        Fa(usize, FaCounts, f64),
+    }
+    let results = parallel_map(units, threads, |unit| {
+        let start = Instant::now();
+        let done = match unit {
+            Unit::Dm(i) => {
+                let cell = &dm_cells[i];
+                let counts =
+                    batch::dm_pass(columns, cell.entries_log2, cell.history_bits, cell.func);
+                Done::Dm(i, counts, ms_since(start))
+            }
+            Unit::Fa(g) => {
+                let (history_bits, caps) = &fa_groups[g];
+                let counts = batch::fa_pass(columns, *history_bits, caps);
+                Done::Fa(g, counts, ms_since(start))
+            }
+        };
+        timing::record_kernel(columns.len() as u64, start.elapsed());
+        done
+    });
+    let mut dm: Vec<(DmCounts, f64)> = vec![(DmCounts::default(), 0.0); dm_cells.len()];
+    let mut fa: Vec<(FaCounts, f64)> = vec![(FaCounts::default(), 0.0); fa_groups.len()];
+    for done in results {
+        match done {
+            Done::Dm(i, counts, ms) => dm[i] = (counts, ms),
+            Done::Fa(g, counts, ms) => fa[g] = (counts, ms),
+        }
+    }
+    (dm, fa)
+}
+
+#[inline]
+fn ms_since(start: Instant) -> f64 {
+    start.elapsed().as_secs_f64() * 1e3
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -464,6 +552,35 @@ mod tests {
         assert!(run_specs(&bad, &records, &cols, NovelPolicy::Count, 1).is_err());
         let unknown = vec!["tage:n=12".to_string()];
         assert!(run_specs(&unknown, &records, &cols, NovelPolicy::Count, 1).is_err());
+    }
+
+    #[test]
+    fn run_three_c_matches_the_classifier_under_any_thread_count() {
+        use bpred_aliasing::three_c::ThreeCClassifier;
+        let records = cache::materialize(IbsBenchmark::Groff, 8_000);
+        let cols = TraceColumns::from_records(&records);
+        let cells: Vec<ThreeCCell> = [
+            (6u32, 4u32, IndexFunction::Gshare),
+            (6, 4, IndexFunction::Gselect),
+            (8, 4, IndexFunction::Gshare),
+            (8, 12, IndexFunction::Gselect),
+            (10, 0, IndexFunction::Bimodal),
+        ]
+        .iter()
+        .map(|&(n, h, func)| ThreeCCell {
+            entries_log2: n,
+            history_bits: h,
+            func,
+        })
+        .collect();
+        let sequential = run_three_c(&cells, &cols, 1);
+        let parallel = run_three_c(&cells, &cols, 4);
+        assert_eq!(sequential, parallel, "thread count must not matter");
+        for (cell, counts) in cells.iter().zip(&sequential) {
+            let reference = ThreeCClassifier::new(cell.entries_log2, cell.history_bits, cell.func)
+                .run_counts(records.iter().copied());
+            assert_eq!(*counts, reference, "{cell:?}");
+        }
     }
 
     #[test]

@@ -123,16 +123,67 @@ pub fn cell(
     seed: u64,
     policy: NovelPolicy,
 ) -> (CellKey, u64) {
+    cell_keyed(spec, bench, len, seed, policy_name(policy))
+}
+
+/// [`cell`] with a free-form policy label — the shared core for cells
+/// that are not predictor runs (the aliasing cells use the
+/// [`ALIAS_POLICY`] label, where a `NovelPolicy` would be meaningless).
+pub fn cell_keyed(
+    spec: &str,
+    bench: IbsBenchmark,
+    len: u64,
+    seed: u64,
+    policy: &str,
+) -> (CellKey, u64) {
     let key = CellKey {
         bench: bench.name().to_string(),
         spec: spec.to_string(),
         len,
         seed,
-        policy: policy_name(policy).to_string(),
+        policy: policy.to_string(),
     };
     let workload_params = format!("{:?}", bench.spec_seeded(seed));
     let fingerprint = key.fingerprint(&workload_params, ENGINE_VERSION);
     (key, fingerprint)
+}
+
+/// Policy label of three-C aliasing cells. Distinct from every
+/// [`policy_name`] value, so an aliasing cell can never collide with a
+/// predictor cell that happens to share a spec string.
+pub const ALIAS_POLICY: &str = "alias";
+
+/// Key + fingerprint of one *direct-mapped* three-C measurement: the
+/// tagged-table pass of a grid cell. Stored as `conditional` =
+/// references, `mispredicted` = misses, `novel` = cold misses.
+pub fn alias_dm_cell(
+    cell: &bpred_aliasing::batch::ThreeCCell,
+    bench: IbsBenchmark,
+    len: u64,
+    seed: u64,
+) -> (CellKey, u64) {
+    let spec = format!(
+        "3c-dm:ix={},n={},h={}",
+        cell.func, cell.entries_log2, cell.history_bits
+    );
+    cell_keyed(&spec, bench, len, seed, ALIAS_POLICY)
+}
+
+/// Key + fingerprint of one *fully-associative* three-C measurement at
+/// capacity `2^entries_log2` under `history_bits` of history. Keyed
+/// without an index function — the FA reference is shared by every index
+/// function of the grid, which is exactly what lets the batched engine
+/// (and a resumed rerun) pay for it once. Stored as `conditional` =
+/// references, `mispredicted` = misses, `novel` = cold misses.
+pub fn alias_fa_cell(
+    entries_log2: u32,
+    history_bits: u32,
+    bench: IbsBenchmark,
+    len: u64,
+    seed: u64,
+) -> (CellKey, u64) {
+    let spec = format!("3c-fa:n={entries_log2},h={history_bits}");
+    cell_keyed(&spec, bench, len, seed, ALIAS_POLICY)
 }
 
 /// Look a cell up. `Some` only when a store is attached with resume
@@ -248,6 +299,66 @@ mod tests {
     fn policy_names() {
         assert_eq!(policy_name(NovelPolicy::Count), "count");
         assert_eq!(policy_name(NovelPolicy::Exclude), "exclude");
+    }
+
+    #[test]
+    fn alias_cells_fingerprint_every_coordinate() {
+        use bpred_aliasing::batch::ThreeCCell;
+        use bpred_core::index::IndexFunction;
+        let cell = ThreeCCell {
+            entries_log2: 10,
+            history_bits: 4,
+            func: IndexFunction::Gshare,
+        };
+        let (key, base) = alias_dm_cell(&cell, IbsBenchmark::Groff, 1000, 7);
+        assert_eq!(key.policy, ALIAS_POLICY);
+        let variants = [
+            alias_dm_cell(
+                &ThreeCCell {
+                    entries_log2: 11,
+                    ..cell
+                },
+                IbsBenchmark::Groff,
+                1000,
+                7,
+            )
+            .1,
+            alias_dm_cell(
+                &ThreeCCell {
+                    history_bits: 5,
+                    ..cell
+                },
+                IbsBenchmark::Groff,
+                1000,
+                7,
+            )
+            .1,
+            alias_dm_cell(
+                &ThreeCCell {
+                    func: IndexFunction::Gselect,
+                    ..cell
+                },
+                IbsBenchmark::Groff,
+                1000,
+                7,
+            )
+            .1,
+            alias_dm_cell(&cell, IbsBenchmark::Gs, 1000, 7).1,
+            alias_dm_cell(&cell, IbsBenchmark::Groff, 1001, 7).1,
+            alias_dm_cell(&cell, IbsBenchmark::Groff, 1000, 8).1,
+            // The FA cell of the same geometry is a different cell.
+            alias_fa_cell(10, 4, IbsBenchmark::Groff, 1000, 7).1,
+        ];
+        for v in variants {
+            assert_ne!(v, base);
+        }
+        assert_eq!(alias_dm_cell(&cell, IbsBenchmark::Groff, 1000, 7).1, base);
+        // FA cells ignore the index function by construction: one key per
+        // (capacity, history).
+        assert_eq!(
+            alias_fa_cell(10, 4, IbsBenchmark::Groff, 1000, 7).1,
+            alias_fa_cell(10, 4, IbsBenchmark::Groff, 1000, 7).1
+        );
     }
 
     // Lookup/record behaviour against a real store lives in

@@ -319,6 +319,28 @@ pub fn columns_seeded(bench: IbsBenchmark, len: u64, seed_base: u64) -> Arc<Trac
         .attach_columns(&key, built)
 }
 
+/// The benchmark's trace as records *and* columns in one lookup. With the
+/// cache enabled this is [`materialize_seeded`] plus [`columns_seeded`]
+/// (the second lookup is a cache hit on the same entry); with the cache
+/// disabled the trace is generated **once** and both views are built from
+/// it — callers that need records and columns together should use this
+/// instead of the two calls, which would generate twice under
+/// `--no-trace-cache`.
+pub fn records_and_columns(
+    bench: IbsBenchmark,
+    len: u64,
+    seed_base: u64,
+) -> (Arc<[BranchRecord]>, Arc<TraceColumns>) {
+    if !is_enabled() {
+        let records = generate(bench, len, seed_base);
+        let columns = Arc::new(TraceColumns::from_records(&records));
+        return (records, columns);
+    }
+    let records = materialize_seeded(bench, len, seed_base);
+    let columns = columns_seeded(bench, len, seed_base);
+    (records, columns)
+}
+
 /// An owned iterator over a materialized trace: keeps the `Arc` alive and
 /// yields records by value, so it drops into any `impl Iterator<Item =
 /// BranchRecord>` consumer (the simulation engine, the aliasing
@@ -527,6 +549,17 @@ mod tests {
         let out = lru.attach_columns(&key, Arc::clone(&cols));
         assert!(Arc::ptr_eq(&out, &cols));
         assert_eq!(lru.resident_bytes, 0);
+    }
+
+    #[test]
+    fn records_and_columns_share_the_cache_entry() {
+        let (records, cols) = records_and_columns(IbsBenchmark::Gs, 1_800, DEFAULT_SEED_BASE);
+        assert_eq!(cols.len(), records.len());
+        let again = materialize(IbsBenchmark::Gs, 1_800);
+        assert!(Arc::ptr_eq(&records, &again));
+        let cols_again = columns(IbsBenchmark::Gs, 1_800);
+        assert!(Arc::ptr_eq(&cols, &cols_again));
+        assert_eq!(*cols, TraceColumns::from_records(&records));
     }
 
     #[test]

@@ -100,6 +100,13 @@ impl TraceColumns {
         bit(&self.conditional, i)
     }
 
+    /// `(is_conditional, taken)` of record `i` in one call — the pair
+    /// every history-tracking kernel needs per record.
+    #[inline]
+    pub fn cond_taken(&self, i: usize) -> (bool, bool) {
+        (bit(&self.conditional, i), bit(&self.taken, i))
+    }
+
     /// The kind of record `i`.
     #[inline]
     pub fn kind(&self, i: usize) -> BranchKind {
@@ -155,6 +162,7 @@ mod tests {
             assert_eq!(cols.pc(i), r.pc);
             assert_eq!(cols.taken(i), r.taken);
             assert_eq!(cols.is_conditional(i), r.kind.is_conditional());
+            assert_eq!(cols.cond_taken(i), (r.kind.is_conditional(), r.taken));
             assert_eq!(cols.kind(i), r.kind);
         }
         assert_eq!(cols.pcs().len(), records.len());

@@ -2,10 +2,15 @@
 //! deterministic, so their rendered rows are pinned verbatim. If a change
 //! moves these, it changed the model — that must be deliberate.
 
+use gskew::aliasing::batch::ThreeCCell;
+use gskew::core::index::IndexFunction;
 use gskew::model::curves::destructive_aliasing_curve;
 use gskew::model::prob::aliasing_probability;
 use gskew::model::skew::{crossover_distance, p_dm, p_sk};
 use gskew::sim::experiments::{self, ExperimentOpts};
+use gskew::sim::kernel;
+use gskew::trace::cache;
+use gskew::trace::workload::IbsBenchmark;
 
 #[test]
 fn figure9_key_points_are_pinned() {
@@ -76,6 +81,53 @@ fn fig3_demo_is_pinned() {
         rendered.contains("(a=0011, h=0101)  (a=1011, h=0101)"),
         "gselect conflict group changed:\n{rendered}"
     );
+}
+
+#[test]
+fn conflict_dominates_past_4k_entries() {
+    // The paper's headline shape, pinned on the batched three-C engine at
+    // the quick workload lengths: from 4K entries (n = 12) up, capacity
+    // aliasing has all but vanished and what remains of the aliasing is
+    // conflicts. Pin it two ways on the suite mean at a 4-bit history —
+    // conflict strictly dominates capacity at every large size, and the
+    // capacity component is monotone nonincreasing in table size (LRU
+    // inclusion makes anything else a measurement bug).
+    const SIZES_LOG2: std::ops::RangeInclusive<u32> = 12..=18;
+    let cells: Vec<ThreeCCell> = SIZES_LOG2
+        .map(|n| ThreeCCell {
+            entries_log2: n,
+            history_bits: 4,
+            func: IndexFunction::Gshare,
+        })
+        .collect();
+    let opts = ExperimentOpts::quick();
+    let benches = IbsBenchmark::all();
+    let mut mean_conflict = vec![0.0; cells.len()];
+    let mut mean_capacity = vec![0.0; cells.len()];
+    for &bench in benches.iter() {
+        let columns = cache::columns(bench, opts.len_for(bench));
+        let counts = kernel::run_three_c(&cells, &columns, 2);
+        let mut prev_capacity = f64::INFINITY;
+        for (i, b) in counts.iter().map(|c| c.breakdown()).enumerate() {
+            mean_conflict[i] += b.conflict / benches.len() as f64;
+            mean_capacity[i] += b.capacity / benches.len() as f64;
+            assert!(
+                b.capacity <= prev_capacity,
+                "{}: capacity grew with table size at n={}",
+                bench.name(),
+                12 + i
+            );
+            prev_capacity = b.capacity;
+        }
+    }
+    for (i, (&conflict, &capacity)) in mean_conflict.iter().zip(&mean_capacity).enumerate() {
+        assert!(
+            conflict > capacity,
+            "n={}: suite-mean conflict {conflict} <= capacity {capacity}",
+            12 + i
+        );
+        assert!(conflict > 0.0, "n={}: conflict vanished entirely", 12 + i);
+    }
 }
 
 #[test]
